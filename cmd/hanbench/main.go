@@ -1,0 +1,139 @@
+// Command hanbench is an IMB-style collective benchmark for the simulated
+// clusters: it sweeps message sizes for a chosen collective and prints the
+// max-across-ranks latency per size for one or more MPI systems.
+//
+// Usage:
+//
+//	hanbench -op bcast -machine shaheen -nodes 8 -ppn 8 -systems HAN,OpenMPI-default,CrayMPI
+//	hanbench -op allreduce -machine stampede -sizes 1024,1048576 -table tuning.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/hanrepro/han/internal/autotune"
+	"github.com/hanrepro/han/internal/bench"
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/han"
+	"github.com/hanrepro/han/internal/rivals"
+)
+
+func main() {
+	op := flag.String("op", "bcast", "collective: bcast, allreduce, reduce, gather, allgather, scatter")
+	machine := flag.String("machine", "shaheen", "machine preset: shaheen, stampede, tuning64, mini")
+	nodes := flag.Int("nodes", 0, "override node count")
+	ppn := flag.Int("ppn", 0, "override processes per node")
+	systemsFlag := flag.String("systems", "HAN,OpenMPI-default", "comma-separated systems: HAN, OpenMPI-default, CrayMPI, IntelMPI, MVAPICH2")
+	sizesFlag := flag.String("sizes", "", "comma-separated message sizes in bytes (default: IMB small+large sweep)")
+	tablePath := flag.String("table", "", "autotuning lookup table (JSON) to drive HAN's decisions")
+	flag.Parse()
+
+	spec, err := machineSpec(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hanbench:", err)
+		os.Exit(2)
+	}
+	if *nodes > 0 {
+		spec.Nodes = *nodes
+	}
+	if *ppn > 0 {
+		spec.PPN = *ppn
+	}
+
+	var kind coll.Kind
+	switch *op {
+	case "bcast":
+		kind = coll.Bcast
+	case "allreduce":
+		kind = coll.Allreduce
+	case "reduce":
+		kind = coll.Reduce
+	case "gather":
+		kind = coll.Gather
+	case "allgather":
+		kind = coll.Allgather
+	case "scatter":
+		kind = coll.Scatter
+	default:
+		fmt.Fprintf(os.Stderr, "hanbench: unknown op %q\n", *op)
+		os.Exit(2)
+	}
+
+	sizes := append(bench.SmallSizes(), bench.LargeSizes()...)
+	if *sizesFlag != "" {
+		sizes = nil
+		for _, s := range strings.Split(*sizesFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "hanbench: bad size %q\n", s)
+				os.Exit(2)
+			}
+			sizes = append(sizes, v)
+		}
+	}
+
+	var decide han.DecisionFunc
+	if *tablePath != "" {
+		table, err := autotune.Load(*tablePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanbench:", err)
+			os.Exit(1)
+		}
+		decide = table.DecisionFunc()
+	}
+
+	var systems []bench.System
+	for _, name := range strings.Split(*systemsFlag, ",") {
+		sys, err := systemByName(strings.TrimSpace(name), decide)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanbench:", err)
+			os.Exit(2)
+		}
+		systems = append(systems, sys)
+	}
+
+	names := make([]string, len(systems))
+	points := make(map[string][]bench.Point)
+	for i, sys := range systems {
+		names[i] = sys.Name
+		points[sys.Name] = bench.IMB(spec, sys, kind, sizes)
+	}
+	title := fmt.Sprintf("%s on %s (%d nodes x %d ppn = %d processes), latency in µs",
+		*op, spec.Name, spec.Nodes, spec.PPN, spec.Ranks())
+	fmt.Print(bench.FormatTable(title, sizes, names, points))
+}
+
+func machineSpec(name string) (cluster.Spec, error) {
+	switch name {
+	case "shaheen":
+		return cluster.ShaheenII(), nil
+	case "stampede":
+		return cluster.Stampede2(), nil
+	case "tuning64":
+		return cluster.Tuning64(), nil
+	case "mini":
+		return cluster.Mini(4, 8), nil
+	}
+	return cluster.Spec{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func systemByName(name string, decide han.DecisionFunc) (bench.System, error) {
+	switch name {
+	case "HAN":
+		return bench.HANSystem(decide), nil
+	case "OpenMPI-default":
+		return bench.RivalSystem(rivals.OpenMPIDefault), nil
+	case "CrayMPI":
+		return bench.RivalSystem(rivals.CrayMPI), nil
+	case "IntelMPI":
+		return bench.RivalSystem(rivals.IntelMPI), nil
+	case "MVAPICH2":
+		return bench.RivalSystem(rivals.MVAPICH2), nil
+	}
+	return bench.System{}, fmt.Errorf("unknown system %q", name)
+}

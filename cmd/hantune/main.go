@@ -1,0 +1,82 @@
+// Command hantune is HAN's offline autotuner: it benchmarks HAN's tasks on
+// a machine, evaluates the cost model over the configuration space, and
+// writes the resulting lookup table (best configuration per Table I input)
+// to a JSON file that hanbench and applications can load.
+//
+// Usage:
+//
+//	hantune -machine tuning64 -method task -o tuning.json
+//	hantune -machine shaheen -nodes 16 -method task+heur -o shaheen.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hanrepro/han/internal/autotune"
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/mpi"
+)
+
+func main() {
+	machine := flag.String("machine", "tuning64", "machine preset: shaheen, stampede, tuning64, mini")
+	nodes := flag.Int("nodes", 0, "override node count")
+	ppn := flag.Int("ppn", 0, "override processes per node")
+	method := flag.String("method", "task", "tuning method: exhaustive, exhaustive+heur, task, task+heur")
+	out := flag.String("o", "han-tuning.json", "output lookup table path")
+	flag.Parse()
+
+	var spec cluster.Spec
+	switch *machine {
+	case "shaheen":
+		spec = cluster.ShaheenII()
+	case "stampede":
+		spec = cluster.Stampede2()
+	case "tuning64":
+		spec = cluster.Tuning64()
+	case "mini":
+		spec = cluster.Mini(4, 8)
+	default:
+		fmt.Fprintf(os.Stderr, "hantune: unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+	if *nodes > 0 {
+		spec.Nodes = *nodes
+	}
+	if *ppn > 0 {
+		spec.PPN = *ppn
+	}
+
+	var m autotune.Method
+	switch *method {
+	case "exhaustive":
+		m = autotune.Exhaustive
+	case "exhaustive+heur":
+		m = autotune.ExhaustiveHeuristics
+	case "task":
+		m = autotune.TaskBased
+	case "task+heur":
+		m = autotune.Combined
+	default:
+		fmt.Fprintf(os.Stderr, "hantune: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	env := autotune.NewEnv(spec, mpi.OpenMPI())
+	fmt.Printf("hantune: tuning %s (%d nodes x %d ppn) with the %s method...\n",
+		spec.Name, spec.Nodes, spec.PPN, m)
+	res := autotune.RunSearch(env, autotune.DefaultSpace(), []coll.Kind{coll.Bcast, coll.Allreduce}, m, autotune.SearchOpts{})
+	t := res.Table
+	fmt.Printf("hantune: %d benchmark runs, %.2f s of (virtual) machine time\n",
+		t.Measurements, t.TuningCost)
+	for _, e := range t.Entries {
+		fmt.Printf("  %-30s -> %s  (est %.1f µs)\n", e.In, e.Cfg, e.EstCost*1e6)
+	}
+	if err := t.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "hantune:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hantune: lookup table written to %s\n", *out)
+}

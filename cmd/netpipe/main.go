@@ -1,0 +1,85 @@
+// Command netpipe measures point-to-point ping-pong bandwidth between two
+// nodes of a simulated machine for one or more MPI personalities,
+// reproducing the methodology behind Fig 11 of the HAN paper.
+//
+// Usage:
+//
+//	netpipe -machine shaheen -libs OpenMPI-default,CrayMPI
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hanrepro/han/internal/bench"
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/han"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/rivals"
+)
+
+func main() {
+	machine := flag.String("machine", "shaheen", "machine preset: shaheen, stampede, mini")
+	libsFlag := flag.String("libs", "OpenMPI-default,CrayMPI", "comma-separated personalities")
+	flag.Parse()
+
+	var spec cluster.Spec
+	switch *machine {
+	case "shaheen":
+		spec = cluster.ShaheenII()
+	case "stampede":
+		spec = cluster.Stampede2()
+	case "mini":
+		spec = cluster.Mini(2, 2)
+	default:
+		fmt.Fprintf(os.Stderr, "netpipe: unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+	spec.Nodes = 2 // ping-pong needs exactly two nodes' worth of hardware
+
+	var names []string
+	var perss []*mpi.Personality
+	for _, name := range strings.Split(*libsFlag, ",") {
+		name = strings.TrimSpace(name)
+		var p *mpi.Personality
+		switch name {
+		case "OpenMPI-default", "OpenMPI", "HAN":
+			p = mpi.OpenMPI()
+		case "CrayMPI":
+			p = rivals.CrayMPI.Personality()
+		case "IntelMPI":
+			p = rivals.IntelMPI.Personality()
+		case "MVAPICH2":
+			p = rivals.MVAPICH2.Personality()
+		default:
+			fmt.Fprintf(os.Stderr, "netpipe: unknown personality %q\n", name)
+			os.Exit(2)
+		}
+		names = append(names, name)
+		perss = append(perss, p)
+	}
+
+	var sizes []int
+	for n := 64; n <= 128<<20; n *= 4 {
+		sizes = append(sizes, n)
+	}
+	results := make([][]bench.BWPoint, len(perss))
+	for i, p := range perss {
+		results[i] = bench.Netpipe(spec, p, sizes)
+	}
+	fmt.Printf("# Netpipe on %s (one-way bandwidth, MB/s)\n", spec.Name)
+	fmt.Printf("%-10s", "size")
+	for _, n := range names {
+		fmt.Printf("%18s", n)
+	}
+	fmt.Println()
+	for i, s := range sizes {
+		fmt.Printf("%-10s", han.SizeString(s))
+		for j := range perss {
+			fmt.Printf("%18.0f", results[j][i].MBps)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/hanrepro/han
+
+go 1.22

@@ -1,0 +1,91 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/hanrepro/han/internal/bench"
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// HorovodParams configures the synchronous data-parallel training loop
+// (tf_cnn_benchmarks training AlexNet with synthetic data, as in the
+// paper's Fig 15 experiment).
+type HorovodParams struct {
+	// ModelBytes is the gradient volume per step. AlexNet has ~61M fp32
+	// parameters, ~244 MB of gradients.
+	ModelBytes int
+	// FusionBytes is Horovod's tensor-fusion buffer: gradients are
+	// allreduced in buckets of this size (64 MB default).
+	FusionBytes int
+	// StepCompute is the per-step forward+backward time of one worker in
+	// seconds (batch compute, independent of scale).
+	StepCompute float64
+	// Steps is the number of timed training steps.
+	Steps int
+}
+
+// DefaultHorovodParams returns an AlexNet-like configuration.
+func DefaultHorovodParams() HorovodParams {
+	return HorovodParams{
+		ModelBytes:  244 << 20,
+		FusionBytes: 64 << 20,
+		StepCompute: 0.120,
+		Steps:       2,
+	}
+}
+
+// HorovodResult is one point of Fig 15.
+type HorovodResult struct {
+	System    string
+	Ranks     int
+	StepTime  float64 // seconds per training step
+	ImagesSec float64 // aggregate throughput, images/s (batch 64 per worker)
+}
+
+// RunHorovod runs the training loop: per step, every worker computes its
+// batch, then the fused gradient buckets are allreduced (the averaging is a
+// sum + local scale). Throughput scales with ranks until the allreduce
+// dominates — the gap between MPI implementations at 1536 processes is the
+// paper's headline application result.
+func RunHorovod(spec cluster.Spec, sys bench.System, prm HorovodParams) HorovodResult {
+	eng := sim.New()
+	w := mpi.NewWorld(cluster.NewMachine(eng, spec), sys.Pers)
+	ops := sys.Setup(w)
+
+	buckets := make([]int, 0, prm.ModelBytes/prm.FusionBytes+1)
+	for rem := prm.ModelBytes; rem > 0; rem -= prm.FusionBytes {
+		b := prm.FusionBytes
+		if rem < b {
+			b = rem
+		}
+		buckets = append(buckets, b)
+	}
+
+	var stepMax float64
+	w.Start(func(p *mpi.Proc) {
+		c := w.World()
+		c.Barrier(p)
+		start := p.Now()
+		for s := 0; s < prm.Steps; s++ {
+			p.Sim.Sleep(sim.Time(prm.StepCompute)) // forward + backward
+			for _, b := range buckets {
+				ops.Allreduce(p, mpi.Phantom(b), mpi.Phantom(b), mpi.OpSum, mpi.Float32)
+			}
+		}
+		if d := float64(p.Now()-start) / float64(prm.Steps); d > stepMax {
+			stepMax = d
+		}
+	})
+	if err := eng.Run(); err != nil {
+		panic(fmt.Sprintf("apps: horovod failed: %v", err))
+	}
+	const batchPerWorker = 64
+	return HorovodResult{
+		System:    sys.Name,
+		Ranks:     spec.Ranks(),
+		StepTime:  stepMax,
+		ImagesSec: float64(batchPerWorker*spec.Ranks()) / stepMax,
+	}
+}

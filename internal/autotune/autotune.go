@@ -1,0 +1,256 @@
+// Package autotune implements HAN's task-based autotuning component, the
+// paper's second contribution (section III-C).
+//
+// Instead of measuring whole collective operations for every message size
+// (exhaustive search, cost M x S x N x P x A), it benchmarks HAN's *tasks*
+// once per configuration (cost T x S x N x P x A) and composes their
+// empirically measured costs through the cost model of equations (3) and
+// (4). Task costs are reused across message sizes — and across collectives
+// that share tasks (sb appears in both MPI_Bcast and MPI_Allreduce) — which
+// is what cuts tuning time by an order of magnitude while keeping the
+// accuracy of direct measurement (Figs 8 and 9).
+//
+// The package also implements the exhaustive and heuristic searches the
+// paper compares against, the lookup table keyed by the Table I inputs
+// (n, p, m, t), and its JSON persistence and interpolation logic.
+package autotune
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/han"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// Input is one autotuning input point — Table I of the paper.
+type Input struct {
+	N int       // number of nodes
+	P int       // processes per node
+	M int       // message size in bytes
+	T coll.Kind // collective operation type
+}
+
+// String formats the input for reports.
+func (in Input) String() string {
+	return fmt.Sprintf("n=%d p=%d m=%s t=%s", in.N, in.P, han.SizeString(in.M), in.T)
+}
+
+// Space is the configuration search space. The cross product of its fields
+// (filtered by module capabilities and, optionally, heuristics) is what the
+// searches enumerate.
+type Space struct {
+	// Msgs is the sampled message-size axis (M).
+	Msgs []int
+	// FS is the HAN segment-size axis (S).
+	FS []int
+	// IMods and SMods are the submodule choices.
+	IMods []string
+	SMods []string
+	// IBS is the inter-node internal segment-size axis (applies to ADAPT).
+	IBS []int
+}
+
+// DefaultSpace returns the search space used throughout the evaluation:
+// power-of-four message sizes from 4 B to 4 MB, segment sizes from 64 KB to
+// 1 MB, both inter- and intra-node submodules, and three ADAPT internal
+// segment sizes.
+func DefaultSpace() Space {
+	return Space{
+		Msgs:  []int{4, 64, 1 << 10, 16 << 10, 256 << 10, 1 << 20, 4 << 20},
+		FS:    []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20},
+		IMods: han.InterNames(),
+		SMods: han.IntraNames(),
+		IBS:   []int{32 << 10, 64 << 10, 128 << 10},
+	}
+}
+
+// Candidate is one fully-specified configuration paired with the segment
+// size it was expanded at.
+type Candidate struct {
+	Cfg han.Config
+}
+
+// Expand enumerates every configuration in the space for the given
+// collective kind and message size m (fs > m is skipped: a segment cannot
+// exceed the message). When heuristics is true, the paper's pruning rules
+// apply: SOLO only for segments larger than 512 KB, and the chain algorithm
+// only when there are enough segments to fill its pipeline.
+func (s Space) Expand(kind coll.Kind, m int, heuristics bool, nodes int) []Candidate {
+	var out []Candidate
+	fsAxis := s.FS
+	// Always consider the unsegmented configuration for small messages.
+	if m < fsAxis[0] {
+		fsAxis = append([]int{m}, fsAxis...)
+	}
+	for _, fs := range fsAxis {
+		if fs > m {
+			continue
+		}
+		u := (m + fs - 1) / fs
+		for _, imod := range s.IMods {
+			algs := interAlgs(imod, kind)
+			ibsAxis := []int{0}
+			if imod == "adapt" {
+				ibsAxis = s.IBS
+			}
+			for _, alg := range algs {
+				if heuristics && alg == coll.AlgChain && u*1 < nodes/2 {
+					// Chain needs enough segments to kick-start its
+					// pipeline (paper's heuristic example).
+					continue
+				}
+				for _, ibs := range ibsAxis {
+					if ibs > fs {
+						continue
+					}
+					for _, smod := range s.SMods {
+						if heuristics && smod == "solo" && fs <= 512<<10 {
+							// SM beats SOLO below 512 KB (paper's
+							// heuristic example).
+							continue
+						}
+						cfg := han.Config{FS: fs, IMod: imod, SMod: smod, IBAlg: alg, IRAlg: alg, IBS: ibs, IRS: ibs}
+						out = append(out, Candidate{Cfg: cfg})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func interAlgs(imod string, kind coll.Kind) []coll.Alg {
+	switch imod {
+	case "adapt":
+		return []coll.Alg{coll.AlgChain, coll.AlgBinary, coll.AlgBinomial}
+	case "libnbc":
+		return []coll.Alg{coll.AlgLinear, coll.AlgBinomial}
+	}
+	panic("autotune: unknown inter module " + imod)
+}
+
+// TaskSignature identifies the task-cost benchmark a configuration needs:
+// everything in the config except nothing — task costs depend on the full
+// configuration including fs — but they do NOT depend on the message size,
+// which is the axis the task-based search eliminates.
+type TaskSignature struct {
+	Cfg han.Config
+}
+
+// Env binds a machine spec and P2P personality for measurements.
+type Env struct {
+	Spec cluster.Spec
+	Pers *mpi.Personality
+}
+
+// NewEnv returns a measurement environment.
+func NewEnv(spec cluster.Spec, pers *mpi.Personality) Env { return Env{Spec: spec, Pers: pers} }
+
+// runWorld runs fn on all ranks of a fresh world and returns the final
+// virtual time.
+func (e Env) runWorld(fn func(h *han.HAN, p *mpi.Proc)) sim.Time {
+	eng := sim.New()
+	w := mpi.NewWorld(cluster.NewMachine(eng, e.Spec), e.Pers)
+	h := han.New(w)
+	w.Start(func(p *mpi.Proc) { fn(h, p) })
+	if err := eng.Run(); err != nil {
+		panic(fmt.Sprintf("autotune: measurement world failed: %v", err))
+	}
+	return eng.Now()
+}
+
+// Entry is one lookup-table row: the best configuration for an input.
+type Entry struct {
+	In      Input
+	Cfg     han.Config
+	EstCost float64 // model-estimated or measured cost in seconds
+}
+
+// Table is the autotuner's output: best configurations per input, plus
+// bookkeeping about how the search was run.
+type Table struct {
+	Machine string
+	Method  string // "exhaustive", "task", "exhaustive+heur", "task+heur"
+	// TuningCost is the total virtual machine-time spent benchmarking.
+	TuningCost float64
+	// Measurements counts individual benchmark runs.
+	Measurements int
+	Entries      []Entry
+}
+
+// Decide returns the best configuration for the given kind and message
+// size, choosing the entry whose sampled message size is nearest in
+// log-space (the paper's step-2 interpolation).
+func (t *Table) Decide(kind coll.Kind, m int) han.Config {
+	best := -1
+	bestDist := 0.0
+	for i, e := range t.Entries {
+		if e.In.T != kind {
+			continue
+		}
+		d := logDist(e.In.M, m)
+		if best == -1 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best == -1 {
+		return han.DefaultDecision(kind, m)
+	}
+	cfg := t.Entries[best].Cfg
+	// Clamp the segment size to the actual message.
+	if cfg.FS > m {
+		cfg.FS = m
+	}
+	return cfg
+}
+
+// DecisionFunc adapts the table to han.DecisionFunc.
+func (t *Table) DecisionFunc() han.DecisionFunc {
+	return func(kind coll.Kind, m int) han.Config { return t.Decide(kind, m) }
+}
+
+func logDist(a, b int) float64 {
+	if a <= 0 || b <= 0 {
+		return 1e18
+	}
+	la, lb := float64(0), float64(0)
+	for v := a; v > 1; v >>= 1 {
+		la++
+	}
+	for v := b; v > 1; v >>= 1 {
+		lb++
+	}
+	if la > lb {
+		return la - lb
+	}
+	return lb - la
+}
+
+// Save writes the table as JSON.
+func (t *Table) Save(path string) error {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return fmt.Errorf("autotune: marshal table: %w", err)
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads a table written by Save.
+func Load(path string) (*Table, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("autotune: read table: %w", err)
+	}
+	var t Table
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("autotune: parse table %s: %w", path, err)
+	}
+	sort.SliceStable(t.Entries, func(i, j int) bool { return t.Entries[i].In.M < t.Entries[j].In.M })
+	return &t, nil
+}

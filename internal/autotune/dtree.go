@@ -1,0 +1,167 @@
+package autotune
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/han"
+)
+
+// DTree encodes a lookup table's decisions for one collective kind as a
+// binary decision tree over the message size — the compact runtime decision
+// functions of Pjesivac-Grbovic et al. (the quadtree/decision-tree encoding
+// work the paper cites for autotuning step 2). A full-depth tree reproduces
+// the table exactly; capping the depth trades decision accuracy for a
+// smaller, faster decision function, which is the trade-off those papers
+// study.
+type DTree struct {
+	Kind coll.Kind
+	root *dnode
+}
+
+type dnode struct {
+	leaf      bool
+	cfg       han.Config
+	threshold int // go left when m <= threshold
+	left      *dnode
+	right     *dnode
+}
+
+// BuildDTree builds a decision tree from the table's entries for the given
+// kind. maxDepth <= 0 means unlimited (lossless); smaller depths merge
+// adjacent size classes, keeping the configuration of the widest range.
+func BuildDTree(t *Table, kind coll.Kind, maxDepth int) (*DTree, error) {
+	var entries []Entry
+	for _, e := range t.Entries {
+		if e.In.T == kind {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("autotune: table has no entries for %v", kind)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].In.M < entries[j].In.M })
+	if maxDepth <= 0 {
+		maxDepth = -1 // unlimited: never hits the depth cutoff
+	}
+	return &DTree{Kind: kind, root: buildNode(entries, maxDepth)}, nil
+}
+
+func buildNode(entries []Entry, depthLeft int) *dnode {
+	if len(entries) == 1 || depthLeft == 0 || allSameCfg(entries) {
+		return &dnode{leaf: true, cfg: majorityCfg(entries)}
+	}
+	mid := len(entries) / 2
+	// Split between the two middle sampled sizes, geometric midpoint.
+	threshold := isqrtProduct(entries[mid-1].In.M, entries[mid].In.M)
+	return &dnode{
+		threshold: threshold,
+		left:      buildNode(entries[:mid], depthLeft-1),
+		right:     buildNode(entries[mid:], depthLeft-1),
+	}
+}
+
+func allSameCfg(entries []Entry) bool {
+	for _, e := range entries[1:] {
+		if e.Cfg != entries[0].Cfg {
+			return false
+		}
+	}
+	return true
+}
+
+// majorityCfg returns the most frequent configuration (first occurrence
+// wins ties, favouring smaller sizes, which are called more often).
+func majorityCfg(entries []Entry) han.Config {
+	counts := make(map[han.Config]int)
+	best := entries[0].Cfg
+	for _, e := range entries {
+		counts[e.Cfg]++
+		if counts[e.Cfg] > counts[best] {
+			best = e.Cfg
+		}
+	}
+	return best
+}
+
+// isqrtProduct returns round(sqrt(a*b)) without overflow for message sizes.
+func isqrtProduct(a, b int) int {
+	x := float64(a) * float64(b)
+	r := 1
+	for float64(r)*float64(r) < x {
+		r <<= 1
+	}
+	// binary refine
+	lo, hi := r>>1, r
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if float64(mid)*float64(mid) < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Decide walks the tree for an m-byte message, clamping the segment size to
+// the message as Table.Decide does.
+func (d *DTree) Decide(m int) han.Config {
+	n := d.root
+	for !n.leaf {
+		if m <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	cfg := n.cfg
+	if cfg.FS > m {
+		cfg.FS = m
+	}
+	return cfg
+}
+
+// DecisionFunc adapts the tree to han.DecisionFunc for the tree's kind,
+// falling back to the default decision for other kinds.
+func (d *DTree) DecisionFunc() han.DecisionFunc {
+	return func(kind coll.Kind, m int) han.Config {
+		if kind == d.Kind {
+			return d.Decide(m)
+		}
+		return han.DefaultDecision(kind, m)
+	}
+}
+
+// Nodes counts tree nodes (the size metric the encoding papers optimise).
+func (d *DTree) Nodes() int { return countNodes(d.root) }
+
+func countNodes(n *dnode) int {
+	if n.leaf {
+		return 1
+	}
+	return 1 + countNodes(n.left) + countNodes(n.right)
+}
+
+// String renders the tree as the nested if/else decision function the
+// encoding would be code-generated into.
+func (d *DTree) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "decide_%s(m):\n", d.Kind)
+	renderNode(&b, d.root, 1)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *dnode, depth int) {
+	ind := strings.Repeat("  ", depth)
+	if n.leaf {
+		fmt.Fprintf(b, "%sreturn {%s}\n", ind, n.cfg)
+		return
+	}
+	fmt.Fprintf(b, "%sif m <= %s:\n", ind, han.SizeString(n.threshold))
+	renderNode(b, n.left, depth+1)
+	fmt.Fprintf(b, "%selse:\n", ind)
+	renderNode(b, n.right, depth+1)
+}

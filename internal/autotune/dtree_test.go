@@ -1,0 +1,100 @@
+package autotune
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/han"
+)
+
+func dtreeTable() *Table {
+	cfg := func(fs int, imod string) han.Config {
+		return han.Config{FS: fs, IMod: imod, SMod: "sm", IBAlg: coll.AlgBinomial}
+	}
+	return &Table{
+		Machine: "test",
+		Entries: []Entry{
+			{In: Input{N: 4, P: 4, M: 64, T: coll.Bcast}, Cfg: cfg(64, "libnbc")},
+			{In: Input{N: 4, P: 4, M: 4 << 10, T: coll.Bcast}, Cfg: cfg(4<<10, "libnbc")},
+			{In: Input{N: 4, P: 4, M: 256 << 10, T: coll.Bcast}, Cfg: cfg(64<<10, "adapt")},
+			{In: Input{N: 4, P: 4, M: 4 << 20, T: coll.Bcast}, Cfg: cfg(512<<10, "adapt")},
+		},
+	}
+}
+
+func TestDTreeLosslessMatchesTable(t *testing.T) {
+	table := dtreeTable()
+	tree, err := BuildDTree(table, coll.Bcast, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range table.Entries {
+		got := tree.Decide(e.In.M)
+		want := table.Decide(coll.Bcast, e.In.M)
+		if got != want {
+			t.Errorf("m=%d: tree %v, table %v", e.In.M, got, want)
+		}
+	}
+	// In-between sizes pick a sampled neighbour's config.
+	mid := tree.Decide(32 << 10)
+	if mid.IMod != "libnbc" && mid.IMod != "adapt" {
+		t.Errorf("interpolated decision not from the table: %+v", mid)
+	}
+}
+
+func TestDTreeDepthCapShrinksTree(t *testing.T) {
+	table := dtreeTable()
+	full, _ := BuildDTree(table, coll.Bcast, 0)
+	capped, _ := BuildDTree(table, coll.Bcast, 1)
+	if capped.Nodes() >= full.Nodes() {
+		t.Errorf("depth cap did not shrink the tree: %d >= %d", capped.Nodes(), full.Nodes())
+	}
+	// A depth-1 tree still decides, everywhere, with configs from the table.
+	for _, m := range []int{1, 1 << 10, 1 << 20, 64 << 20} {
+		cfg := capped.Decide(m)
+		if cfg.IMod == "" {
+			t.Errorf("empty decision at m=%d", m)
+		}
+		if cfg.FS > m {
+			t.Errorf("FS not clamped at m=%d: %d", m, cfg.FS)
+		}
+	}
+}
+
+func TestDTreeDecisionFuncFallsBack(t *testing.T) {
+	tree, _ := BuildDTree(dtreeTable(), coll.Bcast, 0)
+	df := tree.DecisionFunc()
+	if got := df(coll.Bcast, 4<<20); got.IMod != "adapt" {
+		t.Errorf("bcast decision wrong: %+v", got)
+	}
+	// Other kinds fall back to the default decision.
+	if got := df(coll.Allreduce, 4<<20); got.IMod == "" {
+		t.Error("fallback decision empty")
+	}
+}
+
+func TestDTreeStringRendersDecisionFunction(t *testing.T) {
+	tree, _ := BuildDTree(dtreeTable(), coll.Bcast, 0)
+	s := tree.String()
+	for _, want := range []string{"decide_bcast", "if m <=", "return", "adapt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered tree missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDTreeNoEntries(t *testing.T) {
+	if _, err := BuildDTree(&Table{}, coll.Bcast, 0); err == nil {
+		t.Fatal("expected error for empty table")
+	}
+}
+
+func TestIsqrtProduct(t *testing.T) {
+	cases := [][3]int{{4, 16, 8}, {64, 256, 128}, {1 << 20, 4 << 20, 2 << 20}}
+	for _, c := range cases {
+		if got := isqrtProduct(c[0], c[1]); got != c[2] {
+			t.Errorf("isqrtProduct(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package autotune
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/han"
+)
+
+// Method selects a tuning strategy — the four bars of Fig 8.
+type Method int
+
+// Tuning methods.
+const (
+	// Exhaustive measures every configuration of every input end to end.
+	Exhaustive Method = iota
+	// ExhaustiveHeuristics is Exhaustive with the paper's pruning rules.
+	ExhaustiveHeuristics
+	// TaskBased benchmarks tasks once per configuration and reuses their
+	// costs across message sizes through the cost model.
+	TaskBased
+	// Combined is TaskBased plus heuristics — the paper's 4.3% bar.
+	Combined
+)
+
+// String returns the method name used in reports.
+func (m Method) String() string {
+	switch m {
+	case Exhaustive:
+		return "exhaustive"
+	case ExhaustiveHeuristics:
+		return "exhaustive+heur"
+	case TaskBased:
+		return "task"
+	case Combined:
+		return "task+heur"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+func (m Method) heuristics() bool { return m == ExhaustiveHeuristics || m == Combined }
+func (m Method) taskBased() bool  { return m == TaskBased || m == Combined }
+
+// SearchOpts tunes the searches themselves.
+type SearchOpts struct {
+	// Iters is the number of timed iterations per end-to-end measurement
+	// (exhaustive searches). Defaults to 2.
+	Iters int
+}
+
+// ExhaustiveStats summarises the full measured distribution for one input —
+// the best/median/average bars of Fig 9.
+type ExhaustiveStats struct {
+	Best, Median, Average float64
+}
+
+// Result is the output of RunSearch: a lookup table plus, for exhaustive
+// methods, the per-input cost distributions.
+type Result struct {
+	Table *Table
+	Stats map[Input]ExhaustiveStats
+}
+
+// RunSearch tunes the given collective kinds over the space with the given
+// method, returning the lookup table (step 1 of section III-C). The tuning
+// cost reported in the table is virtual machine time, directly comparable
+// across methods as in Fig 8.
+func RunSearch(env Env, space Space, kinds []coll.Kind, method Method, opts SearchOpts) Result {
+	if opts.Iters <= 0 {
+		opts.Iters = 2
+	}
+	meter := &Meter{}
+	table := &Table{Machine: env.Spec.Name, Method: method.String()}
+	stats := make(map[Input]ExhaustiveStats)
+
+	// Task-cost caches shared across message sizes AND collective kinds
+	// (tasks like sb are common to Bcast and Allreduce, one of the paper's
+	// three sources of savings).
+	bcastCache := make(map[han.Config]BcastTasks)
+	allredCache := make(map[han.Config]AllreduceTasks)
+
+	for _, kind := range kinds {
+		for _, m := range space.Msgs {
+			in := Input{N: env.Spec.Nodes, P: env.Spec.PPN, M: m, T: kind}
+			cands := space.Expand(kind, m, method.heuristics(), env.Spec.Nodes)
+			if len(cands) == 0 {
+				continue
+			}
+			bestCfg := cands[0].Cfg
+			bestCost := -1.0
+			var all []float64
+			for _, cand := range cands {
+				var cost float64
+				if method.taskBased() {
+					switch kind {
+					case coll.Bcast:
+						bt, ok := bcastCache[cand.Cfg]
+						if !ok {
+							bt = env.MeasureBcastTasks(cand.Cfg, meter)
+							bcastCache[cand.Cfg] = bt
+						}
+						cost = EstimateBcast(bt, m)
+					case coll.Allreduce:
+						at, ok := allredCache[cand.Cfg]
+						if !ok {
+							at = env.MeasureAllreduceTasks(cand.Cfg, meter)
+							allredCache[cand.Cfg] = at
+						}
+						cost = EstimateAllreduce(at, m)
+					default:
+						panic("autotune: task-based search supports bcast and allreduce")
+					}
+				} else {
+					cost = env.MeasureCollective(kind, m, cand.Cfg, opts.Iters, meter)
+					all = append(all, cost)
+				}
+				if bestCost < 0 || cost < bestCost {
+					bestCost, bestCfg = cost, cand.Cfg
+				}
+			}
+			table.Entries = append(table.Entries, Entry{In: in, Cfg: bestCfg, EstCost: bestCost})
+			if len(all) > 0 {
+				sort.Float64s(all)
+				sum := 0.0
+				for _, v := range all {
+					sum += v
+				}
+				stats[in] = ExhaustiveStats{
+					Best:    all[0],
+					Median:  all[len(all)/2],
+					Average: sum / float64(len(all)),
+				}
+			}
+		}
+	}
+	table.TuningCost = meter.Virtual
+	table.Measurements = meter.Runs
+	return Result{Table: table, Stats: stats}
+}

@@ -1,0 +1,212 @@
+package autotune
+
+import (
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/han"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// Meter accumulates the cost of benchmarking: the total virtual machine
+// time consumed and the number of individual benchmark runs. It is what
+// Fig 8 reports for each tuning method.
+type Meter struct {
+	Virtual float64 // seconds of simulated machine time
+	Runs    int
+}
+
+func (m *Meter) add(t sim.Time) {
+	if m != nil {
+		m.Virtual += float64(t)
+		m.Runs++
+	}
+}
+
+// SBIBSeriesLen is how many pipeline iterations the task benchmark runs to
+// observe the sbib stabilisation of Fig 3.
+const SBIBSeriesLen = 8
+
+// BcastTasks holds the per-leader empirical task costs of one MPI_Bcast
+// configuration — the data behind Fig 2 and the inputs of equation (3).
+type BcastTasks struct {
+	Cfg han.Config
+	// IB0 is the cost of the first inter-node broadcast, per leader.
+	IB0 []float64
+	// SB0 is the cost of a lone intra-node broadcast, per leader.
+	SB0 []float64
+	// SBIBConc is the naive concurrent sb+ib measurement with simultaneous
+	// starts (no task history) — Fig 2's green bars.
+	SBIBConc []float64
+	// SBIB[i][l] is the cost of sbib(i+1) on leader l measured inside the
+	// real pipeline (with ib(0)..sbib(i) history) — Fig 2's red bars and
+	// the Fig 3 series.
+	SBIB [][]float64
+}
+
+// StableSBIB returns the stabilised per-leader sbib cost (the sbib(s) of
+// equation 3): the mean of the second half of the series, past the pipeline
+// warm-up.
+func (bt BcastTasks) StableSBIB() []float64 {
+	if len(bt.SBIB) == 0 {
+		return bt.SBIBConc
+	}
+	nLeaders := len(bt.SBIB[0])
+	out := make([]float64, nLeaders)
+	half := len(bt.SBIB) / 2
+	cnt := 0
+	for i := half; i < len(bt.SBIB); i++ {
+		for l := 0; l < nLeaders; l++ {
+			out[l] += bt.SBIB[i][l]
+		}
+		cnt++
+	}
+	for l := range out {
+		out[l] /= float64(cnt)
+	}
+	return out
+}
+
+// MeasureBcastTasks benchmarks the three task types of MPI_Bcast under cfg
+// on the environment's machine. Each task cost is measured once (the
+// simulation is noise-free); the sbib series is measured inside a real
+// SBIBSeriesLen-segment pipeline so that the staggered leader start times
+// and warm-up effects are captured, as section III-A2 prescribes.
+func (e Env) MeasureBcastTasks(cfg han.Config, meter *Meter) BcastTasks {
+	nodes := e.Spec.Nodes
+	bt := BcastTasks{
+		Cfg:      cfg,
+		IB0:      make([]float64, nodes),
+		SB0:      make([]float64, nodes),
+		SBIBConc: make([]float64, nodes),
+	}
+	for i := 0; i < SBIBSeriesLen-1; i++ {
+		bt.SBIB = append(bt.SBIB, make([]float64, nodes))
+	}
+	leaderIdx := func(p *mpi.Proc) int { return p.Node() }
+
+	// Lone ib, lone sb, and the naive concurrent measurement share a world.
+	t := e.runWorld(func(h *han.HAN, p *mpi.Proc) {
+		if d := h.TimeIB(p, cfg); d > 0 {
+			bt.IB0[leaderIdx(p)] = float64(d)
+		}
+		if d := h.TimeSB(p, cfg); h.W.Mach.IsNodeLeader(p.Rank) {
+			bt.SB0[leaderIdx(p)] = float64(d)
+		}
+		if d := h.TimeConcurrentSBIB(p, cfg); h.W.Mach.IsNodeLeader(p.Rank) {
+			bt.SBIBConc[leaderIdx(p)] = float64(d)
+		}
+	})
+	meter.add(t)
+
+	// The pipelined sbib series (includes ib(0) history automatically).
+	t = e.runWorld(func(h *han.HAN, p *mpi.Proc) {
+		steps := h.BcastSteps(p, SBIBSeriesLen, cfg)
+		if steps == nil {
+			return
+		}
+		l := leaderIdx(p)
+		// steps = [ib(0), sbib(1..k-1), sb(last)]
+		for i := 1; i < len(steps)-1; i++ {
+			bt.SBIB[i-1][l] = float64(steps[i])
+		}
+	})
+	meter.add(t)
+	return bt
+}
+
+// AllreduceTasks holds the per-leader empirical task costs of one
+// MPI_Allreduce configuration — the inputs of equation (4).
+type AllreduceTasks struct {
+	Cfg han.Config
+	// Steps[t][l] is the duration of pipeline step t on leader l for a
+	// SBIBSeriesLen-segment run: steps 0..2 are sr, irsr, ibirsr; steps
+	// 3..u-1 are sbibirsr (stabilising); the last three are the drain
+	// tasks sbibir, sbib, sb.
+	Steps [][]float64
+}
+
+// StableSBIBIRSR returns the stabilised per-leader sbibirsr cost.
+func (at AllreduceTasks) StableSBIBIRSR() []float64 {
+	u := len(at.Steps) - 3
+	nLeaders := len(at.Steps[0])
+	out := make([]float64, nLeaders)
+	lo := 3 + (u-3)/2
+	cnt := 0
+	for t := lo; t < u; t++ {
+		for l := 0; l < nLeaders; l++ {
+			out[l] += at.Steps[t][l]
+		}
+		cnt++
+	}
+	if cnt == 0 {
+		// Degenerate short series: use the last middle step available.
+		for l := 0; l < nLeaders; l++ {
+			out[l] = at.Steps[len(at.Steps)-4][l]
+		}
+		return out
+	}
+	for l := range out {
+		out[l] /= float64(cnt)
+	}
+	return out
+}
+
+// MeasureAllreduceTasks benchmarks the MPI_Allreduce task pipeline under
+// cfg (all 8 task types in one instrumented run, as the shared tasks let
+// the tuner do).
+func (e Env) MeasureAllreduceTasks(cfg han.Config, meter *Meter) AllreduceTasks {
+	nodes := e.Spec.Nodes
+	u := SBIBSeriesLen
+	at := AllreduceTasks{Cfg: cfg}
+	for t := 0; t < u+3; t++ {
+		at.Steps = append(at.Steps, make([]float64, nodes))
+	}
+	t := e.runWorld(func(h *han.HAN, p *mpi.Proc) {
+		steps := h.AllreduceSteps(p, u, mpi.OpSum, mpi.Float64, cfg)
+		if steps == nil {
+			return
+		}
+		l := p.Node()
+		for i := range steps {
+			at.Steps[i][l] = float64(steps[i])
+		}
+	})
+	meter.add(t)
+	return at
+}
+
+// MeasureCollective measures a full collective operation end to end under
+// cfg: IMB methodology, `iters` timed iterations after one warm-up, cost =
+// mean over iterations of the max duration across ranks.
+func (e Env) MeasureCollective(kind coll.Kind, m int, cfg han.Config, iters int, meter *Meter) float64 {
+	if iters < 1 {
+		iters = 1
+	}
+	maxPerIter := make([]float64, iters+1)
+	t := e.runWorld(func(h *han.HAN, p *mpi.Proc) {
+		c := h.W.World()
+		for it := 0; it <= iters; it++ {
+			c.Barrier(p)
+			t0 := p.Now()
+			switch kind {
+			case coll.Bcast:
+				h.Bcast(p, mpi.Phantom(m), 0, cfg)
+			case coll.Allreduce:
+				h.Allreduce(p, mpi.Phantom(m), mpi.Phantom(m), mpi.OpSum, mpi.Float64, cfg)
+			case coll.Reduce:
+				h.Reduce(p, mpi.Phantom(m), mpi.Phantom(m), mpi.OpSum, mpi.Float64, 0, cfg)
+			default:
+				panic("autotune: unsupported collective kind " + kind.String())
+			}
+			if d := float64(p.Now() - t0); d > maxPerIter[it] {
+				maxPerIter[it] = d
+			}
+		}
+	})
+	meter.add(t)
+	sum := 0.0
+	for _, d := range maxPerIter[1:] {
+		sum += d
+	}
+	return sum / float64(iters)
+}

@@ -1,0 +1,250 @@
+// Package bench implements the measurement harnesses of the paper's
+// evaluation: an IMB-style collective benchmark (max-across-ranks latency
+// per message size, the methodology of Figs 10, 12, 13, 14) and a
+// Netpipe-style point-to-point sweep (Fig 11). It also defines the System
+// abstraction that lets HAN and the rival libraries be driven by the same
+// harness.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/han"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/rivals"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// Ops is the collective interface a System exposes to the harness. Bcast
+// and Allreduce are mandatory; the extension collectives may be nil for
+// systems that do not implement them (IMB skips those kinds).
+type Ops struct {
+	Bcast     func(p *mpi.Proc, buf mpi.Buf, root int)
+	Allreduce func(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype)
+	Reduce    func(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, root int)
+	Gather    func(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int)
+	Allgather func(p *mpi.Proc, sbuf, rbuf mpi.Buf)
+	Scatter   func(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int)
+}
+
+// System is a named MPI implementation: a P2P personality plus a collective
+// engine factory bound to each fresh world.
+type System struct {
+	Name string
+	Pers *mpi.Personality
+	// Setup binds the system's collective engine to a world. It is called
+	// once per world, before ranks start.
+	Setup func(w *mpi.World) Ops
+}
+
+// HANSystem returns HAN running on Open MPI's P2P layer. decide may be nil
+// (the default decision) or an autotuned table's decision function.
+func HANSystem(decide han.DecisionFunc) System {
+	return System{
+		Name: "HAN",
+		Pers: mpi.OpenMPI(),
+		Setup: func(w *mpi.World) Ops {
+			h := han.New(w)
+			if decide != nil {
+				h.Decide = decide
+			}
+			return Ops{
+				Bcast: func(p *mpi.Proc, buf mpi.Buf, root int) {
+					h.Bcast(p, buf, root, han.Config{})
+				},
+				Allreduce: func(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype) {
+					h.Allreduce(p, sbuf, rbuf, op, dt, han.Config{})
+				},
+				Reduce: func(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, root int) {
+					h.Reduce(p, sbuf, rbuf, op, dt, root, han.Config{})
+				},
+				Gather: func(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int) {
+					h.Gather(p, sbuf, rbuf, root, han.Config{})
+				},
+				Allgather: func(p *mpi.Proc, sbuf, rbuf mpi.Buf) {
+					h.Allgather(p, sbuf, rbuf, han.Config{})
+				},
+				Scatter: func(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int) {
+					h.Scatter(p, sbuf, rbuf, root, han.Config{})
+				},
+			}
+		},
+	}
+}
+
+// RivalSystem returns one of the comparison libraries.
+func RivalSystem(l rivals.Lib) System {
+	return System{
+		Name: l.String(),
+		Pers: l.Personality(),
+		Setup: func(w *mpi.World) Ops {
+			rt := rivals.NewRuntime(l, w)
+			return Ops{
+				Bcast:     rt.Bcast,
+				Allreduce: rt.Allreduce,
+				Reduce:    rt.Reduce,
+				Gather:    rt.Gather,
+				Allgather: rt.Allgather,
+				Scatter:   rt.Scatter,
+			}
+		},
+	}
+}
+
+// Point is one IMB result row.
+type Point struct {
+	Size int
+	// Seconds is the mean over iterations of the per-iteration maximum
+	// across ranks — IMB's t_max.
+	Seconds float64
+}
+
+// SmallSizes is the paper's small-message range (up to 128 KB); LargeSizes
+// the large range (up to 128 MB). Full sweeps are expensive at 4096
+// simulated ranks, so the defaults sample every power of four.
+func SmallSizes() []int {
+	return []int{4, 16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 128 << 10}
+}
+
+// LargeSizes returns the large-message sample points.
+func LargeSizes() []int {
+	return []int{256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 128 << 20}
+}
+
+// ItersFor is the IMB-style iteration schedule, trimmed for simulation:
+// more repetitions for small messages, fewer for huge ones.
+func ItersFor(size int) int {
+	switch {
+	case size <= 16<<10:
+		return 4
+	case size <= 1<<20:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// IMB runs the collective benchmark for one system over the given sizes on
+// spec, returning one point per size.
+func IMB(spec cluster.Spec, sys System, kind coll.Kind, sizes []int) []Point {
+	points := make([]Point, len(sizes))
+	eng := sim.New()
+	w := mpi.NewWorld(cluster.NewMachine(eng, spec), sys.Pers)
+	ops := sys.Setup(w)
+	maxDur := make([][]float64, len(sizes)) // per size, per iteration
+	for i, size := range sizes {
+		maxDur[i] = make([]float64, ItersFor(size)+1)
+	}
+	w.Start(func(p *mpi.Proc) {
+		c := w.World()
+		for i, size := range sizes {
+			iters := ItersFor(size)
+			for it := 0; it <= iters; it++ {
+				c.Barrier(p)
+				t0 := p.Now()
+				ranks := spec.Ranks()
+				switch kind {
+				case coll.Bcast:
+					ops.Bcast(p, mpi.Phantom(size), 0)
+				case coll.Allreduce:
+					ops.Allreduce(p, mpi.Phantom(size), mpi.Phantom(size), mpi.OpSum, mpi.Float64)
+				case coll.Reduce:
+					ops.Reduce(p, mpi.Phantom(size), mpi.Phantom(size), mpi.OpSum, mpi.Float64, 0)
+				case coll.Gather:
+					// IMB gather semantics: `size` is the per-rank block.
+					ops.Gather(p, mpi.Phantom(size), mpi.Phantom(size*ranks), 0)
+				case coll.Allgather:
+					ops.Allgather(p, mpi.Phantom(size), mpi.Phantom(size*ranks))
+				case coll.Scatter:
+					ops.Scatter(p, mpi.Phantom(size*ranks), mpi.Phantom(size), 0)
+				default:
+					panic("bench: unsupported IMB kind " + kind.String())
+				}
+				if d := float64(p.Now() - t0); d > maxDur[i][it] {
+					maxDur[i][it] = d
+				}
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		panic(fmt.Sprintf("bench: IMB run failed: %v", err))
+	}
+	for i, size := range sizes {
+		sum := 0.0
+		for _, d := range maxDur[i][1:] { // drop warm-up
+			sum += d
+		}
+		points[i] = Point{Size: size, Seconds: sum / float64(ItersFor(size))}
+	}
+	return points
+}
+
+// BWPoint is one Netpipe result row.
+type BWPoint struct {
+	Size int
+	// MBps is the achieved one-way bandwidth in MB/s.
+	MBps float64
+}
+
+// Netpipe measures inter-node ping-pong bandwidth between rank 0 (node 0)
+// and the leader of node 1, as Fig 11 does for Open MPI vs Cray MPI.
+func Netpipe(spec cluster.Spec, pers *mpi.Personality, sizes []int) []BWPoint {
+	if spec.Nodes < 2 {
+		panic("bench: Netpipe needs at least two nodes")
+	}
+	out := make([]BWPoint, len(sizes))
+	rtt := make([]float64, len(sizes))
+	peer := spec.PPN // leader of node 1
+	_, err := mpi.Run(spec, pers, func(p *mpi.Proc) {
+		c := p.W.World()
+		const reps = 3
+		for i, size := range sizes {
+			switch p.Rank {
+			case 0:
+				t0 := p.Now()
+				for r := 0; r < reps; r++ {
+					c.Send(p, mpi.Phantom(size), peer, i)
+					c.Recv(p, mpi.Phantom(size), peer, i)
+				}
+				rtt[i] = float64(p.Now()-t0) / reps
+			case peer:
+				for r := 0; r < reps; r++ {
+					c.Recv(p, mpi.Phantom(size), 0, i)
+					c.Send(p, mpi.Phantom(size), 0, i)
+				}
+			}
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: netpipe failed: %v", err))
+	}
+	for i, size := range sizes {
+		oneWay := rtt[i] / 2
+		out[i] = BWPoint{Size: size, MBps: float64(size) / oneWay / 1e6}
+	}
+	return out
+}
+
+// FormatTable renders per-system IMB points as an aligned text table, one
+// row per size, one column per system — the machine-readable counterpart of
+// the paper's figures.
+func FormatTable(title string, sizes []int, systems []string, points map[string][]Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	fmt.Fprintf(&b, "%-10s", "size")
+	for _, s := range systems {
+		fmt.Fprintf(&b, "%16s", s)
+	}
+	b.WriteString("\n")
+	for i, size := range sizes {
+		fmt.Fprintf(&b, "%-10s", han.SizeString(size))
+		for _, s := range systems {
+			fmt.Fprintf(&b, "%16.1f", points[s][i].Seconds*1e6) // µs
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

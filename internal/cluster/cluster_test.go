@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hanrepro/han/internal/sim"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, s := range []Spec{ShaheenII(), Stampede2(), Tuning64(), Mini(2, 2)} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	if ShaheenII().Ranks() != 4096 {
+		t.Errorf("Shaheen II should model 4096 processes, got %d", ShaheenII().Ranks())
+	}
+	if Stampede2().Ranks() != 1536 {
+		t.Errorf("Stampede2 should model 1536 processes, got %d", Stampede2().Ranks())
+	}
+	if Tuning64().Nodes != 64 || Tuning64().PPN != 12 {
+		t.Error("Tuning64 should be 64 nodes x 12 ppn")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Name: "zero-nodes", PPN: 1, NICBandwidth: 1, MemBusBandwidth: 1, ReduceScalarBps: 1, ReduceAVXBps: 1},
+		{Name: "zero-ppn", Nodes: 1, NICBandwidth: 1, MemBusBandwidth: 1, ReduceScalarBps: 1, ReduceAVXBps: 1},
+		{Name: "no-nic", Nodes: 1, PPN: 1, MemBusBandwidth: 1, ReduceScalarBps: 1, ReduceAVXBps: 1},
+		{Name: "neg-lat", Nodes: 1, PPN: 1, NICBandwidth: 1, MemBusBandwidth: 1, InterLatency: -1, ReduceScalarBps: 1, ReduceAVXBps: 1},
+		{Name: "no-reduce", Nodes: 1, PPN: 1, NICBandwidth: 1, MemBusBandwidth: 1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", s.Name)
+		}
+	}
+}
+
+func TestMachineTopologyMapping(t *testing.T) {
+	e := sim.New()
+	m := NewMachine(e, Mini(3, 4))
+	if m.NodeOf(0) != 0 || m.NodeOf(3) != 0 || m.NodeOf(4) != 1 || m.NodeOf(11) != 2 {
+		t.Error("block rank-to-node mapping wrong")
+	}
+	if !m.IsNodeLeader(0) || !m.IsNodeLeader(4) || m.IsNodeLeader(5) {
+		t.Error("node leader detection wrong")
+	}
+	if m.LocalRank(6) != 2 {
+		t.Errorf("LocalRank(6) = %d, want 2", m.LocalRank(6))
+	}
+	// Distinct per-node resources.
+	if m.NICIn(0) == m.NICIn(1) || m.NICIn(0) == m.NICOut(0) || m.MemBus(0) == m.MemBus(1) {
+		t.Error("node resources not distinct")
+	}
+	if m.CPU(0) == m.CPU(1) {
+		t.Error("per-rank CPUs not distinct")
+	}
+}
+
+func TestCPUWorkTakesWorkSeconds(t *testing.T) {
+	e := sim.New()
+	m := NewMachine(e, Mini(1, 1))
+	var end sim.Time
+	e.Spawn("w", func(p *sim.Proc) {
+		f := m.CPUWork(0, 0.25)
+		p.Wait(f.Done())
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 0.25 {
+		t.Fatalf("0.25s of CPU work finished at %v", end)
+	}
+}
+
+// Property: rank <-> (node, local) mapping is a bijection.
+func TestQuickRankMappingBijective(t *testing.T) {
+	f := func(rawNodes, rawPPN uint8) bool {
+		nodes := int(rawNodes%8) + 1
+		ppn := int(rawPPN%8) + 1
+		e := sim.New()
+		m := NewMachine(e, Mini(nodes, ppn))
+		seen := make(map[[2]int]bool)
+		for r := 0; r < nodes*ppn; r++ {
+			key := [2]int{m.NodeOf(r), m.LocalRank(r)}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+			if m.NodeOf(r) < 0 || m.NodeOf(r) >= nodes || m.LocalRank(r) < 0 || m.LocalRank(r) >= ppn {
+				return false
+			}
+		}
+		return len(seen) == nodes*ppn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

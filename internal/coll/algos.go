@@ -1,0 +1,370 @@
+package coll
+
+import (
+	"fmt"
+
+	"github.com/hanrepro/han/internal/mpi"
+)
+
+// treeFn returns, for a virtual rank v in a tree of the given size, the
+// parent virtual rank (-1 for the root) and the children virtual ranks in
+// send order.
+type treeFn func(v, size int) (parent int, children []int)
+
+// binomialTree is the classic binomial broadcast tree.
+func binomialTree(v, size int) (int, []int) {
+	parent := -1
+	mask := 1
+	for mask < size {
+		if v&mask != 0 {
+			parent = v - mask
+			break
+		}
+		mask <<= 1
+	}
+	if parent == -1 {
+		// Root: walk the mask back down to emit children high-to-low so the
+		// largest subtree starts first.
+		mask = 1
+		for mask < size {
+			mask <<= 1
+		}
+	}
+	var children []int
+	for m := mask >> 1; m > 0; m >>= 1 {
+		if v&(m-1) == 0 && v|m != v && v+m < size {
+			children = append(children, v+m)
+		}
+	}
+	return parent, children
+}
+
+// binaryTree is a balanced binary tree rooted at virtual rank 0.
+func binaryTree(v, size int) (int, []int) {
+	parent := -1
+	if v != 0 {
+		parent = (v - 1) / 2
+	}
+	var children []int
+	for _, c := range []int{2*v + 1, 2*v + 2} {
+		if c < size {
+			children = append(children, c)
+		}
+	}
+	return parent, children
+}
+
+// chainTree is a pipeline: each rank forwards to the next.
+func chainTree(v, size int) (int, []int) {
+	parent := -1
+	if v != 0 {
+		parent = v - 1
+	}
+	if v+1 < size {
+		return parent, []int{v + 1}
+	}
+	return parent, nil
+}
+
+// linearTree is a flat star: the root talks to everyone directly.
+func linearTree(v, size int) (int, []int) {
+	if v != 0 {
+		return 0, nil
+	}
+	children := make([]int, 0, size-1)
+	for c := 1; c < size; c++ {
+		children = append(children, c)
+	}
+	return -1, children
+}
+
+func treeOf(a Alg) treeFn {
+	switch a {
+	case AlgLinear:
+		return linearTree
+	case AlgBinomial:
+		return binomialTree
+	case AlgBinary:
+		return binaryTree
+	case AlgChain:
+		return chainTree
+	}
+	panic(fmt.Sprintf("coll: no tree shape for algorithm %v", a))
+}
+
+// bcastTree runs a (possibly segmented, pipelined) tree broadcast in the
+// calling process. perMsg is the module's extra per-message progression
+// work in CPU-seconds.
+func bcastTree(p *mpi.Proc, c *mpi.Comm, buf mpi.Buf, root int, tree treeFn, seg int, perMsg float64, tag int) {
+	n := c.Size()
+	if n <= 1 || buf.N == 0 {
+		return
+	}
+	me := c.Rank(p)
+	v := vrank(me, root, n)
+	parentV, childV := tree(v, n)
+	segs := segments(buf.N, seg)
+
+	var sendReqs []*mpi.Request
+	if parentV == -1 {
+		for _, s := range segs {
+			for _, ch := range childV {
+				cpuWait(p, perMsg)
+				sendReqs = append(sendReqs, c.Isend(p, buf.Slice(s.Lo, s.Hi), unvrank(ch, root, n), tag))
+			}
+		}
+	} else {
+		parent := unvrank(parentV, root, n)
+		recvReqs := make([]*mpi.Request, len(segs))
+		for i, s := range segs {
+			recvReqs[i] = c.Irecv(p, buf.Slice(s.Lo, s.Hi), parent, tag)
+		}
+		for i, s := range segs {
+			p.Wait(recvReqs[i])
+			cpuWait(p, perMsg)
+			for _, ch := range childV {
+				cpuWait(p, perMsg)
+				sendReqs = append(sendReqs, c.Isend(p, buf.Slice(s.Lo, s.Hi), unvrank(ch, root, n), tag))
+			}
+		}
+	}
+	p.Wait(sendReqs...)
+}
+
+// reduceTree runs a (possibly segmented, pipelined) tree reduction toward
+// root using the reversed edges of the same tree shapes as bcastTree. The
+// result lands in rbuf at the root; sbuf is every rank's contribution.
+// reduceBps is the module's reduction throughput.
+func reduceTree(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, root int, tree treeFn, seg int, perMsg, reduceBps float64, tag int) {
+	n := c.Size()
+	me := c.Rank(p)
+	v := vrank(me, root, n)
+	if n <= 1 {
+		if v == 0 && rbuf.N == sbuf.N {
+			rbuf.CopyFrom(sbuf)
+		}
+		return
+	}
+	if sbuf.N == 0 {
+		return
+	}
+	parentV, childV := tree(v, n)
+
+	// Accumulator: root accumulates straight into rbuf, others into scratch.
+	accum := rbuf
+	if parentV != -1 {
+		accum = allocLike(sbuf)
+	}
+	accum.CopyFrom(sbuf)
+
+	segs := segments(sbuf.N, seg)
+	// Scratch per child (reused across segments, sized at the largest).
+	scratch := make([]mpi.Buf, len(childV))
+	for i := range scratch {
+		scratch[i] = allocLike(sbuf.Slice(0, segs[0].Hi-segs[0].Lo))
+	}
+	var sendReqs []*mpi.Request
+	for _, s := range segs {
+		width := s.Hi - s.Lo
+		for i, ch := range childV {
+			r := c.Irecv(p, scratch[i].Slice(0, width), unvrank(ch, root, n), tag)
+			p.Wait(r)
+			cpuWait(p, perMsg)
+			reduceInto(p, reduceBps, op, dt, accum.Slice(s.Lo, s.Hi), scratch[i].Slice(0, width))
+		}
+		if parentV != -1 {
+			cpuWait(p, perMsg)
+			sendReqs = append(sendReqs, c.Isend(p, accum.Slice(s.Lo, s.Hi), unvrank(parentV, root, n), tag))
+		}
+	}
+	p.Wait(sendReqs...)
+}
+
+// allreduceRecDoubling is the classic recursive-doubling allreduce,
+// handling non-power-of-two sizes with the standard fold/unfold steps.
+func allreduceRecDoubling(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, perMsg, reduceBps float64, tag int) {
+	n := c.Size()
+	me := c.Rank(p)
+	rbuf.CopyFrom(sbuf)
+	if n <= 1 {
+		return
+	}
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	tmp := allocLike(rbuf)
+
+	// Fold: the first 2*rem ranks pair up so pof2 ranks remain.
+	newRank := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		cpuWait(p, perMsg)
+		c.Send(p, rbuf, me+1, tag)
+	case me < 2*rem:
+		c.Recv(p, tmp, me-1, tag)
+		cpuWait(p, perMsg)
+		reduceInto(p, reduceBps, op, dt, rbuf, tmp)
+		newRank = me / 2
+	default:
+		newRank = me - rem
+	}
+
+	if newRank >= 0 {
+		for mask := 1; mask < pof2; mask <<= 1 {
+			peerNew := newRank ^ mask
+			peer := peerNew
+			if peerNew < rem {
+				peer = peerNew*2 + 1
+			} else {
+				peer = peerNew + rem
+			}
+			cpuWait(p, perMsg)
+			c.SendRecv(p, rbuf, peer, tag, tmp, peer, tag)
+			reduceInto(p, reduceBps, op, dt, rbuf, tmp)
+		}
+	}
+
+	// Unfold: give the folded-away ranks the result.
+	switch {
+	case me < 2*rem && me%2 == 0:
+		c.Recv(p, rbuf, me+1, tag)
+	case me < 2*rem:
+		cpuWait(p, perMsg)
+		c.Send(p, rbuf, me-1, tag)
+	}
+}
+
+// allreduceRing is the bandwidth-optimal ring allreduce: a reduce-scatter
+// pass followed by an allgather pass, each in n-1 steps of ~1/n of the
+// buffer.
+func allreduceRing(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, perMsg, reduceBps float64, tag int) {
+	n := c.Size()
+	me := c.Rank(p)
+	rbuf.CopyFrom(sbuf)
+	if n <= 1 {
+		return
+	}
+	total := rbuf.N
+	elem := dt.Size()
+	if total/elem < n {
+		// Too small to scatter: fall back to recursive doubling.
+		allreduceRecDoubling(p, c, sbuf, rbuf, op, dt, perMsg, reduceBps, tag)
+		return
+	}
+	// Chunk boundaries aligned to elements.
+	bounds := make([]int, n+1)
+	per := total / elem / n
+	extra := total/elem - per*n
+	off := 0
+	for i := 0; i < n; i++ {
+		bounds[i] = off * elem
+		off += per
+		if i < extra {
+			off++
+		}
+	}
+	bounds[n] = total
+
+	left := (me - 1 + n) % n
+	right := (me + 1) % n
+	tmp := allocLike(rbuf.Slice(bounds[0], bounds[1]+elem))
+
+	// Reduce-scatter: after step k, rank me holds the partial sum of chunk
+	// (me-k+n)%n over k+1 contributions.
+	for step := 0; step < n-1; step++ {
+		sendChunk := (me - step + n) % n
+		recvChunk := (me - step - 1 + n) % n
+		sw := rbuf.Slice(bounds[sendChunk], bounds[sendChunk+1])
+		rw := bounds[recvChunk+1] - bounds[recvChunk]
+		cpuWait(p, perMsg)
+		sreq := c.Isend(p, sw, right, tag)
+		rreq := c.Irecv(p, tmp.Slice(0, rw), left, tag)
+		p.Wait(sreq, rreq)
+		reduceInto(p, reduceBps, op, dt, rbuf.Slice(bounds[recvChunk], bounds[recvChunk+1]), tmp.Slice(0, rw))
+	}
+	// Allgather: circulate the finished chunks.
+	for step := 0; step < n-1; step++ {
+		sendChunk := (me + 1 - step + n) % n
+		recvChunk := (me - step + n) % n
+		cpuWait(p, perMsg)
+		sreq := c.Isend(p, rbuf.Slice(bounds[sendChunk], bounds[sendChunk+1]), right, tag)
+		rreq := c.Irecv(p, rbuf.Slice(bounds[recvChunk], bounds[recvChunk+1]), left, tag)
+		p.Wait(sreq, rreq)
+	}
+}
+
+// gatherLinear collects sbuf from every rank into rbuf at the root, laid
+// out by comm rank. rbuf must be size*sbuf.N bytes at the root.
+func gatherLinear(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, root int, perMsg float64, tag int) {
+	n := c.Size()
+	me := c.Rank(p)
+	blk := sbuf.N
+	if me == root {
+		if rbuf.N != n*blk {
+			panic(fmt.Sprintf("coll: gather buffer %d bytes, want %d", rbuf.N, n*blk))
+		}
+		reqs := make([]*mpi.Request, 0, n-1)
+		for r := 0; r < n; r++ {
+			if r == root {
+				rbuf.Slice(r*blk, (r+1)*blk).CopyFrom(sbuf)
+				continue
+			}
+			reqs = append(reqs, c.Irecv(p, rbuf.Slice(r*blk, (r+1)*blk), r, tag))
+		}
+		p.Wait(reqs...)
+	} else {
+		cpuWait(p, perMsg)
+		c.Send(p, sbuf, root, tag)
+	}
+}
+
+// scatterLinear distributes root's rbuf-sized blocks of sbuf to each rank's
+// rbuf.
+func scatterLinear(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, root int, perMsg float64, tag int) {
+	n := c.Size()
+	me := c.Rank(p)
+	blk := rbuf.N
+	if me == root {
+		if sbuf.N != n*blk {
+			panic(fmt.Sprintf("coll: scatter buffer %d bytes, want %d", sbuf.N, n*blk))
+		}
+		reqs := make([]*mpi.Request, 0, n-1)
+		for r := 0; r < n; r++ {
+			if r == root {
+				rbuf.CopyFrom(sbuf.Slice(r*blk, (r+1)*blk))
+				continue
+			}
+			cpuWait(p, perMsg)
+			reqs = append(reqs, c.Isend(p, sbuf.Slice(r*blk, (r+1)*blk), r, tag))
+		}
+		p.Wait(reqs...)
+	} else {
+		c.Recv(p, rbuf, root, tag)
+	}
+}
+
+// allgatherRing circulates each rank's block around the ring, n-1 steps.
+func allgatherRing(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, perMsg float64, tag int) {
+	n := c.Size()
+	me := c.Rank(p)
+	blk := sbuf.N
+	if rbuf.N != n*blk {
+		panic(fmt.Sprintf("coll: allgather buffer %d bytes, want %d", rbuf.N, n*blk))
+	}
+	rbuf.Slice(me*blk, (me+1)*blk).CopyFrom(sbuf)
+	if n <= 1 {
+		return
+	}
+	left := (me - 1 + n) % n
+	right := (me + 1) % n
+	for step := 0; step < n-1; step++ {
+		sendChunk := (me - step + n) % n
+		recvChunk := (me - step - 1 + n) % n
+		cpuWait(p, perMsg)
+		sreq := c.Isend(p, rbuf.Slice(sendChunk*blk, (sendChunk+1)*blk), right, tag)
+		rreq := c.Irecv(p, rbuf.Slice(recvChunk*blk, (recvChunk+1)*blk), left, tag)
+		p.Wait(sreq, rreq)
+	}
+}

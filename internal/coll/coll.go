@@ -1,0 +1,265 @@
+// Package coll defines the collective-module interface HAN builds on and
+// implements the five modules the paper uses:
+//
+//   - libnbc: the legacy non-blocking collective module (linear/binomial,
+//     round-based progression, scalar reductions);
+//   - adapt:  the event-driven module (chain/binary/binomial with internal
+//     segmentation, low progression overhead, AVX reductions);
+//   - sm:     intra-node shared-memory trees through a copy-in/copy-out
+//     buffer (cheap setup, best for small messages, scalar reductions);
+//   - solo:   intra-node one-sided single-copy (higher setup, best for
+//     large messages, AVX reductions);
+//   - tuned:  Open MPI's flat default module with its fixed decision
+//     function — the "default Open MPI" baseline of the evaluation.
+//
+// All modules expose non-blocking operations returning *mpi.Request; HAN
+// overlaps tasks by issuing these concurrently.
+package coll
+
+import (
+	"fmt"
+
+	"github.com/hanrepro/han/internal/mpi"
+)
+
+// Kind enumerates collective operation types (the "t" input of the
+// autotuner, Table I).
+type Kind int
+
+// Collective kinds.
+const (
+	Bcast Kind = iota
+	Reduce
+	Allreduce
+	Gather
+	Allgather
+	Scatter
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Bcast:
+		return "bcast"
+	case Reduce:
+		return "reduce"
+	case Allreduce:
+		return "allreduce"
+	case Gather:
+		return "gather"
+	case Allgather:
+		return "allgather"
+	case Scatter:
+		return "scatter"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Alg enumerates collective algorithms across all modules.
+type Alg int
+
+// Algorithms. Not every module supports every algorithm; see Module.Algs.
+const (
+	AlgDefault Alg = iota
+	AlgLinear
+	AlgBinomial
+	AlgBinary
+	AlgChain
+	AlgRecursiveDoubling
+	AlgRing
+)
+
+// String returns the algorithm name.
+func (a Alg) String() string {
+	switch a {
+	case AlgDefault:
+		return "default"
+	case AlgLinear:
+		return "linear"
+	case AlgBinomial:
+		return "binomial"
+	case AlgBinary:
+		return "binary"
+	case AlgChain:
+		return "chain"
+	case AlgRecursiveDoubling:
+		return "recdoubling"
+	case AlgRing:
+		return "ring"
+	}
+	return fmt.Sprintf("alg(%d)", int(a))
+}
+
+// Params selects an algorithm and, for modules that support it, an internal
+// segment size in bytes (the paper's ibs/irs knobs). Seg == 0 means no
+// internal segmentation.
+type Params struct {
+	Alg Alg
+	Seg int
+}
+
+// Module is a collective communication component. Operations are
+// non-blocking: they return immediately with a request that completes when
+// the collective has finished on the calling rank. Modules progress their
+// operations with helper processes that share the rank's CPU resource, so
+// concurrent collectives contend for progression exactly as in
+// single-threaded MPI.
+type Module interface {
+	Name() string
+	// Supports reports whether the module implements the given collective.
+	Supports(k Kind) bool
+	// Algs lists the algorithms selectable for the given collective.
+	Algs(k Kind) []Alg
+
+	Ibcast(p *mpi.Proc, c *mpi.Comm, buf mpi.Buf, root int, pr Params) *mpi.Request
+	Ireduce(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, root int, pr Params) *mpi.Request
+	Iallreduce(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, pr Params) *mpi.Request
+	Igather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, root int, pr Params) *mpi.Request
+	Iallgather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, pr Params) *mpi.Request
+	Iscatter(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, root int, pr Params) *mpi.Request
+}
+
+// Base provides "unsupported" defaults so concrete modules only implement
+// what they actually offer.
+type Base struct{ ModName string }
+
+func (b Base) unsupported(k Kind) string {
+	return fmt.Sprintf("coll: module %s does not support %s", b.ModName, k)
+}
+
+// Supports defaults to false; modules override.
+func (b Base) Supports(Kind) bool { return false }
+
+// Algs defaults to empty; modules override.
+func (b Base) Algs(Kind) []Alg { return nil }
+
+// Ibcast panics; modules that support Bcast override it.
+func (b Base) Ibcast(*mpi.Proc, *mpi.Comm, mpi.Buf, int, Params) *mpi.Request {
+	panic(b.unsupported(Bcast))
+}
+
+// Ireduce panics; modules that support Reduce override it.
+func (b Base) Ireduce(*mpi.Proc, *mpi.Comm, mpi.Buf, mpi.Buf, mpi.Op, mpi.Datatype, int, Params) *mpi.Request {
+	panic(b.unsupported(Reduce))
+}
+
+// Iallreduce panics; modules that support Allreduce override it.
+func (b Base) Iallreduce(*mpi.Proc, *mpi.Comm, mpi.Buf, mpi.Buf, mpi.Op, mpi.Datatype, Params) *mpi.Request {
+	panic(b.unsupported(Allreduce))
+}
+
+// Igather panics; modules that support Gather override it.
+func (b Base) Igather(*mpi.Proc, *mpi.Comm, mpi.Buf, mpi.Buf, int, Params) *mpi.Request {
+	panic(b.unsupported(Gather))
+}
+
+// Iallgather panics; modules that support Allgather override it.
+func (b Base) Iallgather(*mpi.Proc, *mpi.Comm, mpi.Buf, mpi.Buf, Params) *mpi.Request {
+	panic(b.unsupported(Allgather))
+}
+
+// Iscatter panics; modules that support Scatter override it.
+func (b Base) Iscatter(*mpi.Proc, *mpi.Comm, mpi.Buf, mpi.Buf, int, Params) *mpi.Request {
+	panic(b.unsupported(Scatter))
+}
+
+// --- shared helpers used by the concrete modules ---
+
+// cpuWait charges `seconds` of work to p's CPU progress resource and blocks
+// until it has been absorbed (sharing the engine with any concurrent work
+// on the same rank).
+func cpuWait(p *mpi.Proc, seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	f := p.W.Mach.CPUWork(p.Rank, seconds)
+	p.Sim.Wait(f.Done())
+}
+
+// memCopy models an n-byte copy by rank p over its local memory bus (the
+// node bus, or p's socket bus on NUMA machines) and blocks until it
+// completes.
+func memCopy(p *mpi.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	f := p.W.Mach.Net.Start(float64(n), p.W.Mach.InboundBus(p.Rank))
+	p.Sim.Wait(f.Done())
+}
+
+// memCopyBetween models an n-byte shared-memory copy whose source buffer
+// lives with world rank src and destination with world rank dst: on NUMA
+// machines a cross-socket copy also crosses the UPI link, which is exactly
+// the cost a three-level hierarchy avoids.
+func memCopyBetween(p *mpi.Proc, n, srcWorld, dstWorld int) {
+	if n <= 0 {
+		return
+	}
+	f := p.W.Mach.Net.Start(float64(n), p.W.Mach.IntraPath(srcWorld, dstWorld)...)
+	p.Sim.Wait(f.Done())
+}
+
+// reduceInto models the cost of reducing n bytes at `bps` bytes/s on p's
+// CPU and applies dst = dst (op) src to real buffers.
+func reduceInto(p *mpi.Proc, bps float64, op mpi.Op, dt mpi.Datatype, dst, src mpi.Buf) {
+	cpuWait(p, float64(dst.N)/bps)
+	mpi.ReduceBuf(op, dt, dst, src)
+}
+
+// async runs fn in a helper process of p's rank and returns a request that
+// completes when fn returns.
+func async(p *mpi.Proc, name string, fn func(hp *mpi.Proc)) *mpi.Request {
+	req := mpi.NewRequest()
+	p.SpawnHelper(name, func(hp *mpi.Proc) {
+		fn(hp)
+		req.Complete(hp.W.Eng())
+	})
+	return req
+}
+
+// allocLike returns a scratch buffer matching b's size and realness.
+func allocLike(b mpi.Buf) mpi.Buf {
+	if b.Real() {
+		return mpi.Bytes(make([]byte, b.N))
+	}
+	return mpi.Phantom(b.N)
+}
+
+// segments splits [0, n) into chunks of at most seg bytes. seg <= 0 yields
+// a single segment.
+func segments(n, seg int) []struct{ Lo, Hi int } {
+	if seg <= 0 || seg >= n {
+		if n == 0 {
+			return nil
+		}
+		return []struct{ Lo, Hi int }{{0, n}}
+	}
+	var out []struct{ Lo, Hi int }
+	for lo := 0; lo < n; lo += seg {
+		hi := lo + seg
+		if hi > n {
+			hi = n
+		}
+		out = append(out, struct{ Lo, Hi int }{lo, hi})
+	}
+	return out
+}
+
+// vrank maps a comm rank to its virtual rank with `root` rotated to 0.
+func vrank(rank, root, size int) int { return (rank - root + size) % size }
+
+// unvrank is the inverse of vrank.
+func unvrank(v, root, size int) int { return (v + root) % size }
+
+// pickAlg resolves AlgDefault against a module's preference list.
+func pickAlg(pr Params, def Alg, allowed []Alg) Alg {
+	if pr.Alg == AlgDefault {
+		return def
+	}
+	for _, a := range allowed {
+		if a == pr.Alg {
+			return a
+		}
+	}
+	panic(fmt.Sprintf("coll: algorithm %v not supported here (allowed %v)", pr.Alg, allowed))
+}

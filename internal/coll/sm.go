@@ -1,0 +1,336 @@
+package coll
+
+import (
+	"fmt"
+
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// SM models Open MPI's shared-memory collective module: ranks of one node
+// exchange data through a small copy-in/copy-out (CICO) shared buffer,
+// fragment by fragment. Setup is nearly free, which makes SM the fastest
+// intra-node choice for small messages; the double copy and the per-fragment
+// synchronisation make it fall behind SOLO as messages grow, and its
+// reduction loops are scalar (no AVX) — exactly the trade-offs the paper
+// reports.
+//
+// SM only works on single-node communicators (it panics otherwise), and a
+// single SM instance must be shared by all ranks of a world: ranks
+// rendezvous through per-operation shared state keyed by the communicator
+// context and collective sequence number.
+type SM struct {
+	Base
+	ops map[opKey]*shmOp
+	// AVX switches the reduction loop to the vectorised throughput (the
+	// real SM module is scalar; competitor personalities use this).
+	AVX bool
+}
+
+// NewSM returns a shared-memory module instance to be shared by all ranks.
+func NewSM() *SM { return &SM{Base: Base{ModName: "sm"}, ops: make(map[opKey]*shmOp)} }
+
+const (
+	// smFragment is the CICO fragment size.
+	smFragment = 32 << 10
+	// smMaxFrags caps how many fragments the simulation models per
+	// operation; beyond it, fragments are coarsened and their
+	// synchronisation work aggregated, keeping event counts tractable at
+	// 4096 ranks without changing per-byte costs.
+	smMaxFrags = 8
+	// smPerFrag is the synchronisation work per smFragment bytes on the
+	// critical path (flag polling, write-release), aggregated over the real
+	// module's 4 KB fragments.
+	smPerFrag = 0.6e-6
+	// smSetup is the near-zero per-operation cost.
+	smSetup = 0.3e-6
+)
+
+// smFrags splits n bytes into at most smMaxFrags modelled fragments and
+// returns the slices plus the synchronisation work charged per modelled
+// fragment (scaled so total sync work stays proportional to n/smFragment).
+func smFrags(n int) ([]struct{ Lo, Hi int }, float64) {
+	if n == 0 {
+		return nil, smPerFrag
+	}
+	frag := smFragment
+	if (n+frag-1)/frag > smMaxFrags {
+		frag = (n + smMaxFrags - 1) / smMaxFrags
+	}
+	segs := segments(n, frag)
+	totalSync := smPerFrag * float64((n+smFragment-1)/smFragment)
+	if totalSync < smPerFrag {
+		totalSync = smPerFrag
+	}
+	return segs, totalSync / float64(len(segs))
+}
+
+type opKey struct {
+	ctx, seq int
+}
+
+// shmOp is the rendezvous state of one in-flight shared-memory collective
+// (used by both SM and SOLO).
+type shmOp struct {
+	ready    []*sim.Signal // indexed by fragment (bcast) or comm rank (scatter)
+	childOK  []*sim.Signal // per comm rank: that rank finished its part
+	contribs []mpi.Buf     // per comm rank: snapshotted payloads (data plane)
+	users    int
+}
+
+type shmOps struct{ ops map[opKey]*shmOp }
+
+func (m *shmOps) get(c *mpi.Comm, seq, nReady int) *shmOp {
+	k := opKey{c.Ctx(), seq}
+	st := m.ops[k]
+	if st == nil {
+		st = &shmOp{users: c.Size(), contribs: make([]mpi.Buf, c.Size())}
+		for i := 0; i < nReady; i++ {
+			st.ready = append(st.ready, sim.NewSignal())
+		}
+		for i := 0; i < c.Size(); i++ {
+			st.childOK = append(st.childOK, sim.NewSignal())
+		}
+		m.ops[k] = st
+	}
+	return st
+}
+
+func (m *shmOps) put(c *mpi.Comm, seq int) {
+	k := opKey{c.Ctx(), seq}
+	if st := m.ops[k]; st != nil {
+		st.users--
+		if st.users == 0 {
+			delete(m.ops, k)
+		}
+	}
+}
+
+// snapshot returns an immutable copy of b (phantoms are already immutable).
+func snapshot(b mpi.Buf) mpi.Buf {
+	if !b.Real() {
+		return b
+	}
+	cp := make([]byte, b.N)
+	copy(cp, b.B)
+	return mpi.Bytes(cp)
+}
+
+func checkSingleNode(name string, p *mpi.Proc, c *mpi.Comm) {
+	node := p.W.Mach.NodeOf(c.WorldRank(0))
+	for i := 1; i < c.Size(); i++ {
+		if p.W.Mach.NodeOf(c.WorldRank(i)) != node {
+			panic(fmt.Sprintf("coll: %s used on a communicator spanning several nodes", name))
+		}
+	}
+}
+
+func (m *SM) shm() *shmOps { return &shmOps{ops: m.ops} }
+
+// Name returns "sm".
+func (m *SM) Name() string { return "sm" }
+
+// Supports reports the collectives SM implements.
+func (m *SM) Supports(k Kind) bool {
+	switch k {
+	case Bcast, Reduce, Allreduce, Gather, Scatter, Allgather:
+		return true
+	}
+	return false
+}
+
+// Algs returns the single (flat CICO) algorithm per collective.
+func (m *SM) Algs(k Kind) []Alg {
+	if m.Supports(k) {
+		return []Alg{AlgLinear}
+	}
+	return nil
+}
+
+// Ibcast: the root copies each fragment into the shared buffer; every other
+// rank polls the fragment flag and copies it out. Fragments pipeline.
+func (m *SM) Ibcast(p *mpi.Proc, c *mpi.Comm, buf mpi.Buf, root int, pr Params) *mpi.Request {
+	checkSingleNode("sm.Ibcast", p, c)
+	seq := c.NextSeq(p)
+	segs, perFrag := smFrags(buf.N)
+	st := m.shm().get(c, seq, len(segs))
+	me := c.Rank(p)
+	lat := sim.Time(p.W.Mach.Spec.IntraLatency)
+	if me == root {
+		st.contribs[root] = snapshot(buf)
+	}
+	return async(p, "sm-ibcast", func(hp *mpi.Proc) {
+		defer m.shm().put(c, seq)
+		cpuWait(hp, smSetup)
+		if me == root {
+			for i := range segs {
+				cpuWait(hp, perFrag)
+				memCopy(hp, segs[i].Hi-segs[i].Lo) // copy-in
+				st.ready[i].Fire(hp.W.Eng())
+			}
+			return
+		}
+		rootWorld := c.WorldRank(root)
+		for i, s := range segs {
+			hp.Sim.Wait(st.ready[i])
+			hp.Sim.Sleep(lat) // flag propagation
+			cpuWait(hp, perFrag)
+			memCopyBetween(hp, s.Hi-s.Lo, rootWorld, hp.Rank) // copy-out
+		}
+		if buf.Real() && st.contribs[root].Real() {
+			buf.CopyFrom(st.contribs[root])
+		}
+	})
+}
+
+// Ireduce: every non-root rank copies its contribution in; the root copies
+// each one out and folds it with the scalar reduction loop.
+func (m *SM) Ireduce(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, root int, pr Params) *mpi.Request {
+	checkSingleNode("sm.Ireduce", p, c)
+	seq := c.NextSeq(p)
+	st := m.shm().get(c, seq, 0)
+	me := c.Rank(p)
+	scalar := p.W.Mach.Spec.ReduceScalarBps
+	if m.AVX {
+		scalar = p.W.Mach.Spec.ReduceAVXBps
+	}
+	lat := sim.Time(p.W.Mach.Spec.IntraLatency)
+	if me != root {
+		st.contribs[me] = snapshot(sbuf)
+	}
+	return async(p, "sm-ireduce", func(hp *mpi.Proc) {
+		defer m.shm().put(c, seq)
+		cpuWait(hp, smSetup)
+		segs, perFrag := smFrags(sbuf.N)
+		if me != root {
+			for _, s := range segs {
+				cpuWait(hp, perFrag)
+				memCopy(hp, s.Hi-s.Lo) // copy contribution in
+			}
+			st.childOK[me].Fire(hp.W.Eng())
+			return
+		}
+		if rbuf.N == sbuf.N {
+			rbuf.CopyFrom(sbuf)
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			hp.Sim.Wait(st.childOK[r])
+			hp.Sim.Sleep(lat)
+			for _, s := range segs {
+				cpuWait(hp, perFrag)
+				memCopyBetween(hp, s.Hi-s.Lo, c.WorldRank(r), hp.Rank) // copy contribution out
+			}
+			cpuWait(hp, float64(sbuf.N)/scalar) // scalar fold
+			if rbuf.Real() && st.contribs[r].Real() {
+				mpi.ReduceBuf(op, dt, rbuf, st.contribs[r])
+			}
+		}
+	})
+}
+
+// Iallreduce composes Ireduce to rank 0 with Ibcast of the result.
+func (m *SM) Iallreduce(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, pr Params) *mpi.Request {
+	r1 := m.Ireduce(p, c, sbuf, rbuf, op, dt, 0, pr)
+	req := mpi.NewRequest()
+	p.SpawnHelper("sm-iallreduce", func(hp *mpi.Proc) {
+		hp.Wait(r1)
+		hp.Wait(m.Ibcast(hp, c, rbuf, 0, Params{}))
+		req.Complete(hp.W.Eng())
+	})
+	return req
+}
+
+// Igather: each rank copies its block in; the root copies all blocks out.
+func (m *SM) Igather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, root int, pr Params) *mpi.Request {
+	checkSingleNode("sm.Igather", p, c)
+	seq := c.NextSeq(p)
+	st := m.shm().get(c, seq, 0)
+	me := c.Rank(p)
+	blk := sbuf.N
+	lat := sim.Time(p.W.Mach.Spec.IntraLatency)
+	if me != root {
+		st.contribs[me] = snapshot(sbuf)
+	}
+	return async(p, "sm-igather", func(hp *mpi.Proc) {
+		defer m.shm().put(c, seq)
+		cpuWait(hp, smSetup)
+		if me != root {
+			cpuWait(hp, smPerFrag)
+			memCopy(hp, blk)
+			st.childOK[me].Fire(hp.W.Eng())
+			return
+		}
+		if rbuf.N != c.Size()*blk {
+			panic(fmt.Sprintf("coll: sm gather buffer %d bytes, want %d", rbuf.N, c.Size()*blk))
+		}
+		rbuf.Slice(me*blk, (me+1)*blk).CopyFrom(sbuf)
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			hp.Sim.Wait(st.childOK[r])
+			hp.Sim.Sleep(lat)
+			cpuWait(hp, smPerFrag)
+			memCopyBetween(hp, blk, c.WorldRank(r), hp.Rank)
+			if rbuf.Real() && st.contribs[r].Real() {
+				rbuf.Slice(r*blk, (r+1)*blk).CopyFrom(st.contribs[r])
+			}
+		}
+	})
+}
+
+// Iscatter: the root copies each block in; rank r copies block r out.
+func (m *SM) Iscatter(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, root int, pr Params) *mpi.Request {
+	checkSingleNode("sm.Iscatter", p, c)
+	seq := c.NextSeq(p)
+	st := m.shm().get(c, seq, c.Size())
+	me := c.Rank(p)
+	blk := rbuf.N
+	lat := sim.Time(p.W.Mach.Spec.IntraLatency)
+	if me == root {
+		if sbuf.N != c.Size()*blk {
+			panic(fmt.Sprintf("coll: sm scatter buffer %d bytes, want %d", sbuf.N, c.Size()*blk))
+		}
+		for r := 0; r < c.Size(); r++ {
+			st.contribs[r] = snapshot(sbuf.Slice(r*blk, (r+1)*blk))
+		}
+	}
+	return async(p, "sm-iscatter", func(hp *mpi.Proc) {
+		defer m.shm().put(c, seq)
+		cpuWait(hp, smSetup)
+		if me == root {
+			for r := 0; r < c.Size(); r++ {
+				if r == root {
+					rbuf.CopyFrom(sbuf.Slice(r*blk, (r+1)*blk))
+					continue
+				}
+				cpuWait(hp, smPerFrag)
+				memCopy(hp, blk)
+				st.ready[r].Fire(hp.W.Eng())
+			}
+			return
+		}
+		hp.Sim.Wait(st.ready[me])
+		hp.Sim.Sleep(lat)
+		cpuWait(hp, smPerFrag)
+		memCopyBetween(hp, blk, c.WorldRank(root), hp.Rank)
+		if rbuf.Real() && st.contribs[me].Real() {
+			rbuf.CopyFrom(st.contribs[me])
+		}
+	})
+}
+
+// Iallgather composes Igather to rank 0 with Ibcast of the result.
+func (m *SM) Iallgather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, pr Params) *mpi.Request {
+	r1 := m.Igather(p, c, sbuf, rbuf, 0, pr)
+	req := mpi.NewRequest()
+	p.SpawnHelper("sm-iallgather", func(hp *mpi.Proc) {
+		hp.Wait(r1)
+		hp.Wait(m.Ibcast(hp, c, rbuf, 0, Params{}))
+		req.Complete(hp.W.Eng())
+	})
+	return req
+}

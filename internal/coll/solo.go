@@ -1,0 +1,225 @@
+package coll
+
+import (
+	"fmt"
+
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// SOLO models Open MPI's experimental one-sided shared-memory module: ranks
+// expose their buffers through MPI one-sided windows and peers copy directly
+// (a single memory crossing instead of SM's two), with AVX-accelerated
+// reduction loops. The window synchronisation makes every operation pay a
+// noticeable setup cost, so SOLO loses to SM for small messages and wins as
+// messages grow — the behaviour behind the paper's "SOLO only above 512 KB"
+// heuristic.
+//
+// Like SM, SOLO works on single-node communicators only and one instance
+// must be shared by all ranks of a world.
+type SOLO struct {
+	Base
+	ops map[opKey]*shmOp
+}
+
+// NewSOLO returns a one-sided shared-memory module instance shared by all
+// ranks.
+func NewSOLO() *SOLO { return &SOLO{Base: Base{ModName: "solo"}, ops: make(map[opKey]*shmOp)} }
+
+const (
+	// soloSetup is the per-operation window synchronisation cost paid by
+	// every participant.
+	soloSetup = 2.5e-6
+	// soloPerPeer is the per-peer bookkeeping of one-sided transfers.
+	soloPerPeer = 0.2e-6
+)
+
+func (m *SOLO) shm() *shmOps { return &shmOps{ops: m.ops} }
+
+// Name returns "solo".
+func (m *SOLO) Name() string { return "solo" }
+
+// Supports reports the collectives SOLO implements.
+func (m *SOLO) Supports(k Kind) bool {
+	switch k {
+	case Bcast, Reduce, Allreduce, Gather, Scatter:
+		return true
+	}
+	return false
+}
+
+// Algs returns the single (one-sided direct) algorithm per collective.
+func (m *SOLO) Algs(k Kind) []Alg {
+	if m.Supports(k) {
+		return []Alg{AlgLinear}
+	}
+	return nil
+}
+
+// Ibcast: the root exposes its buffer; every other rank copies it directly
+// (one crossing, concurrent across readers).
+func (m *SOLO) Ibcast(p *mpi.Proc, c *mpi.Comm, buf mpi.Buf, root int, pr Params) *mpi.Request {
+	checkSingleNode("solo.Ibcast", p, c)
+	seq := c.NextSeq(p)
+	st := m.shm().get(c, seq, 1)
+	me := c.Rank(p)
+	lat := sim.Time(p.W.Mach.Spec.IntraLatency)
+	if me == root {
+		st.contribs[root] = snapshot(buf)
+	}
+	return async(p, "solo-ibcast", func(hp *mpi.Proc) {
+		defer m.shm().put(c, seq)
+		cpuWait(hp, soloSetup)
+		if me == root {
+			st.ready[0].Fire(hp.W.Eng()) // window exposed
+			return
+		}
+		hp.Sim.Wait(st.ready[0])
+		hp.Sim.Sleep(lat)
+		cpuWait(hp, soloPerPeer)
+		memCopyBetween(hp, buf.N, c.WorldRank(root), hp.Rank) // single direct read
+		if buf.Real() && st.contribs[root].Real() {
+			buf.CopyFrom(st.contribs[root])
+		}
+	})
+}
+
+// Ireduce: a tree-parallel one-sided reduction. Because every rank can
+// read every other rank's exposed buffer directly, the folding work is
+// spread over a binomial tree: in round k, rank v (virtual, root at 0)
+// with bit k clear reads the partial of v|2^k and folds it with AVX. The
+// critical path is log2(p) rounds instead of the O(p) serial folding a
+// CICO leader must do — the main reason SOLO wins large reductions.
+func (m *SOLO) Ireduce(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, root int, pr Params) *mpi.Request {
+	checkSingleNode("solo.Ireduce", p, c)
+	seq := c.NextSeq(p)
+	n := c.Size()
+	// ready[v*rounds+k] fires when virtual rank v's partial for round k is
+	// exposed.
+	rounds := 0
+	for 1<<rounds < n {
+		rounds++
+	}
+	st := m.shm().get(c, seq, n*(rounds+1))
+	me := c.Rank(p)
+	v := vrank(me, root, n)
+	avx := p.W.Mach.Spec.ReduceAVXBps
+	lat := sim.Time(p.W.Mach.Spec.IntraLatency)
+	// Every rank exposes a private working copy of its contribution.
+	part := snapshot(sbuf)
+	return async(p, "solo-ireduce", func(hp *mpi.Proc) {
+		defer m.shm().put(c, seq)
+		cpuWait(hp, soloSetup)
+		st.contribs[v] = part
+		st.ready[v*(rounds+1)].Fire(hp.W.Eng()) // round-0 partial exposed
+		for k := 0; k < rounds; k++ {
+			if v&(1<<k) != 0 {
+				// This rank's partial was consumed in round k; done.
+				return
+			}
+			peer := v | 1<<k
+			if peer < n {
+				hp.Sim.Wait(st.ready[peer*(rounds+1)+k])
+				hp.Sim.Sleep(lat)
+				cpuWait(hp, soloPerPeer)
+				peerWorld := c.WorldRank(unvrank(peer, root, n))
+				memCopyBetween(hp, sbuf.N, peerWorld, hp.Rank) // direct read of the peer partial
+				cpuWait(hp, float64(sbuf.N)/avx)               // AVX fold
+				if part.Real() {
+					if pb := st.contribs[peer]; pb.Real() {
+						mpi.ReduceBuf(op, dt, part, pb)
+					}
+				}
+			}
+			st.contribs[v] = part
+			st.ready[v*(rounds+1)+k+1].Fire(hp.W.Eng())
+		}
+		// v == 0: hold the final result.
+		if rbuf.N == sbuf.N {
+			rbuf.CopyFrom(part)
+		}
+	})
+}
+
+// Iallreduce composes Ireduce to rank 0 with Ibcast of the result.
+func (m *SOLO) Iallreduce(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, pr Params) *mpi.Request {
+	r1 := m.Ireduce(p, c, sbuf, rbuf, op, dt, 0, pr)
+	req := mpi.NewRequest()
+	p.SpawnHelper("solo-iallreduce", func(hp *mpi.Proc) {
+		hp.Wait(r1)
+		hp.Wait(m.Ibcast(hp, c, rbuf, 0, Params{}))
+		req.Complete(hp.W.Eng())
+	})
+	return req
+}
+
+// Igather: contributors expose their blocks; the root reads them all.
+func (m *SOLO) Igather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, root int, pr Params) *mpi.Request {
+	checkSingleNode("solo.Igather", p, c)
+	seq := c.NextSeq(p)
+	st := m.shm().get(c, seq, 0)
+	me := c.Rank(p)
+	blk := sbuf.N
+	lat := sim.Time(p.W.Mach.Spec.IntraLatency)
+	if me != root {
+		st.contribs[me] = snapshot(sbuf)
+	}
+	return async(p, "solo-igather", func(hp *mpi.Proc) {
+		defer m.shm().put(c, seq)
+		cpuWait(hp, soloSetup)
+		if me != root {
+			st.childOK[me].Fire(hp.W.Eng())
+			return
+		}
+		if rbuf.N != c.Size()*blk {
+			panic(fmt.Sprintf("coll: solo gather buffer %d bytes, want %d", rbuf.N, c.Size()*blk))
+		}
+		rbuf.Slice(me*blk, (me+1)*blk).CopyFrom(sbuf)
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			hp.Sim.Wait(st.childOK[r])
+			hp.Sim.Sleep(lat)
+			cpuWait(hp, soloPerPeer)
+			memCopyBetween(hp, blk, c.WorldRank(r), hp.Rank)
+			if rbuf.Real() && st.contribs[r].Real() {
+				rbuf.Slice(r*blk, (r+1)*blk).CopyFrom(st.contribs[r])
+			}
+		}
+	})
+}
+
+// Iscatter: the root exposes its buffer; rank r reads block r directly.
+func (m *SOLO) Iscatter(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, root int, pr Params) *mpi.Request {
+	checkSingleNode("solo.Iscatter", p, c)
+	seq := c.NextSeq(p)
+	st := m.shm().get(c, seq, 1)
+	me := c.Rank(p)
+	blk := rbuf.N
+	lat := sim.Time(p.W.Mach.Spec.IntraLatency)
+	if me == root {
+		if sbuf.N != c.Size()*blk {
+			panic(fmt.Sprintf("coll: solo scatter buffer %d bytes, want %d", sbuf.N, c.Size()*blk))
+		}
+		for r := 0; r < c.Size(); r++ {
+			st.contribs[r] = snapshot(sbuf.Slice(r*blk, (r+1)*blk))
+		}
+	}
+	return async(p, "solo-iscatter", func(hp *mpi.Proc) {
+		defer m.shm().put(c, seq)
+		cpuWait(hp, soloSetup)
+		if me == root {
+			rbuf.CopyFrom(sbuf.Slice(me*blk, (me+1)*blk))
+			st.ready[0].Fire(hp.W.Eng())
+			return
+		}
+		hp.Sim.Wait(st.ready[0])
+		hp.Sim.Sleep(lat)
+		cpuWait(hp, soloPerPeer)
+		memCopyBetween(hp, blk, c.WorldRank(root), hp.Rank)
+		if rbuf.Real() && st.contribs[me].Real() {
+			rbuf.CopyFrom(st.contribs[me])
+		}
+	})
+}

@@ -1,0 +1,264 @@
+// Package flow implements a flow-level network model on top of the sim
+// engine.
+//
+// A Resource is anything with a finite capacity in bytes per second: a NIC
+// injection port, a memory bus, a switch link, or a CPU progress engine
+// (where "bytes" are seconds of work times a capacity of 1). A Flow is a
+// fixed amount of bytes crossing an ordered set of resources simultaneously
+// (store-and-forward pipelining is approximated by the flow occupying its
+// whole path at once, the standard flow-level simplification).
+//
+// Concurrent flows share resources with progressive-filling max-min
+// fairness. Whenever a flow starts or completes, rates are recomputed — but
+// only inside the affected connected component (flows transitively linked by
+// shared resources), which keeps large simulations with thousands of
+// independent node-local flows fast.
+//
+// This model is what makes the HAN reproduction honest: overlap between
+// inter-node and intra-node traffic emerges from resource sharing (memory
+// bus, CPU progress) instead of being asserted by a formula.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// Resource is a capacity-limited element of the platform.
+type Resource struct {
+	// Name identifies the resource in debug output.
+	Name string
+	// Capacity is in bytes per second and must be positive.
+	Capacity float64
+
+	flows []*Flow // active flows crossing this resource, insertion order
+}
+
+// Load returns the number of flows currently crossing the resource.
+func (r *Resource) Load() int { return len(r.flows) }
+
+func (r *Resource) remove(f *Flow) {
+	for i, g := range r.flows {
+		if g == f {
+			r.flows = append(r.flows[:i], r.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+// Flow is an in-flight transfer.
+type Flow struct {
+	net       *Network
+	path      []*Resource
+	remaining float64  // bytes left
+	rate      float64  // current allocated bytes/s
+	last      sim.Time // time remaining was last brought up to date
+	timer     *sim.Timer
+	done      *sim.Signal
+	finished  bool
+
+	// scratch fields for rate computation
+	frozen bool
+	mark   bool
+}
+
+// Done returns the signal fired when the flow's last byte has been
+// delivered.
+func (f *Flow) Done() *sim.Signal { return f.done }
+
+// Rate returns the currently allocated rate in bytes per second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes left as of the last rate change. It is mainly
+// useful in tests.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Network tracks active flows over a set of resources.
+type Network struct {
+	e *sim.Engine
+}
+
+// NewNetwork returns a flow network bound to the given engine.
+func NewNetwork(e *sim.Engine) *Network { return &Network{e: e} }
+
+// NewResource creates a resource with the given capacity in bytes/s.
+func (n *Network) NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		panic(fmt.Sprintf("flow: resource %q capacity must be positive and finite, got %v", name, capacity))
+	}
+	return &Resource{Name: name, Capacity: capacity}
+}
+
+// Start launches a transfer of the given size across path. A zero or
+// negative size completes at the current instant (its Done signal fires
+// immediately). The path must be non-empty for positive sizes.
+func (n *Network) Start(bytes float64, path ...*Resource) *Flow {
+	f := &Flow{net: n, path: path, remaining: bytes, last: n.e.Now(), done: sim.NewSignal()}
+	if bytes <= 0 {
+		f.finished = true
+		f.done.Fire(n.e)
+		return f
+	}
+	if len(path) == 0 {
+		panic("flow: positive-size flow needs a non-empty path")
+	}
+	for _, r := range path {
+		r.flows = append(r.flows, f)
+	}
+	n.rebalance(f)
+	return f
+}
+
+// component collects all flows transitively sharing a resource with seed,
+// in deterministic order.
+func component(seed *Flow) []*Flow {
+	var comp []*Flow
+	var stack []*Flow
+	seed.mark = true
+	stack = append(stack, seed)
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		comp = append(comp, f)
+		for _, r := range f.path {
+			for _, g := range r.flows {
+				if !g.mark {
+					g.mark = true
+					stack = append(stack, g)
+				}
+			}
+		}
+	}
+	for _, f := range comp {
+		f.mark = false
+	}
+	return comp
+}
+
+// rebalance brings every flow in seed's component up to date, re-runs
+// max-min fair allocation for the component, and reschedules completion
+// timers.
+func (n *Network) rebalance(seed *Flow) {
+	now := n.e.Now()
+	comp := component(seed)
+
+	// Advance progress under the old rates.
+	for _, f := range comp {
+		elapsed := float64(now - f.last)
+		if elapsed > 0 && f.rate > 0 {
+			f.remaining -= f.rate * elapsed
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.last = now
+		f.frozen = false
+	}
+
+	// Progressive filling. Residual capacity and unfrozen-flow counts are
+	// tracked per resource touched by the component.
+	type rstate struct {
+		residual float64
+		count    int
+	}
+	states := make(map[*Resource]*rstate)
+	resOrder := make([]*Resource, 0, 2*len(comp))
+	for _, f := range comp {
+		for _, r := range f.path {
+			st := states[r]
+			if st == nil {
+				st = &rstate{residual: r.Capacity}
+				states[r] = st
+				resOrder = append(resOrder, r)
+			}
+			st.count++
+		}
+	}
+	unfrozen := len(comp)
+	for unfrozen > 0 {
+		share := math.Inf(1)
+		for _, r := range resOrder {
+			st := states[r]
+			if st.count > 0 {
+				if s := st.residual / float64(st.count); s < share {
+					share = s
+				}
+			}
+		}
+		if math.IsInf(share, 1) {
+			panic("flow: unfrozen flows but no constraining resource")
+		}
+		// Freeze every flow crossing a bottleneck resource at the fair share.
+		progress := false
+		for _, f := range comp {
+			if f.frozen {
+				continue
+			}
+			bottled := false
+			for _, r := range f.path {
+				st := states[r]
+				if st.residual/float64(st.count) <= share*(1+1e-12) {
+					bottled = true
+					break
+				}
+			}
+			if !bottled {
+				continue
+			}
+			f.frozen = true
+			f.rate = share
+			progress = true
+			for _, r := range f.path {
+				st := states[r]
+				st.residual -= share
+				if st.residual < 0 {
+					st.residual = 0
+				}
+				st.count--
+			}
+			unfrozen--
+		}
+		if !progress {
+			panic("flow: max-min filling made no progress")
+		}
+	}
+
+	// Reschedule completion timers under the new rates.
+	for _, f := range comp {
+		f.timer.Cancel()
+		f := f
+		eta := sim.Time(f.remaining / f.rate)
+		f.timer = n.e.After(eta, func() { n.complete(f) })
+	}
+}
+
+// complete finishes a flow: detaches it from its resources, fires its done
+// signal, and rebalances whatever it leaves behind.
+func (n *Network) complete(f *Flow) {
+	if f.finished {
+		return
+	}
+	f.finished = true
+	f.remaining = 0
+	f.timer.Cancel()
+	for _, r := range f.path {
+		r.remove(f)
+	}
+	f.done.Fire(n.e)
+	// Freed capacity may speed up neighbours: rebalance each disjoint
+	// neighbourhood once.
+	seen := make(map[*Flow]bool)
+	for _, r := range f.path {
+		for _, g := range r.flows {
+			if !seen[g] {
+				// Mark the whole component so each is rebalanced once.
+				for _, h := range component(g) {
+					seen[h] = true
+				}
+				n.rebalance(g)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package han
+
+import (
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/mpi"
+)
+
+// Allreduce performs the hierarchical allreduce of Fig 5 on the world
+// communicator. Each segment passes four stages — intra-node reduce (sr),
+// inter-node reduce (ir), inter-node broadcast (ib), intra-node broadcast
+// (sb) — and the stages of consecutive segments overlap, which is exactly
+// the paper's task schedule: on node leaders
+//
+//	sr(0), irsr(1), ibirsr(2), sbibirsr(3) … sbibirsr(u-1),
+//	sbibir, sbib, sb
+//
+// and on the other ranks sr(0..2), sbsr(3..u-1), sb(u-3..u-1). The
+// inter-node reduce and broadcast use the same root and algorithm so their
+// traffic can overlap on the full-duplex fabric (section III-B1). The
+// operation must be commutative. Results land in rbuf on every rank.
+func (h *HAN) Allreduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) {
+	w := h.W
+	if sbuf.N != rbuf.N {
+		panic("han: Allreduce buffer size mismatch")
+	}
+	if sbuf.N == 0 {
+		return
+	}
+	if w.Size() == 1 {
+		rbuf.CopyFrom(sbuf)
+		return
+	}
+	cfg = h.resolve(coll.Allreduce, sbuf.N, cfg)
+	defer h.span(p, "han.Allreduce", sbuf.N)()
+	node, leaders := h.comms(p)
+	mach := w.Mach
+	iAmLeader := mach.IsNodeLeader(p.Rank)
+	segs := segments(sbuf.N, cfg.FS)
+	u := len(segs)
+
+	// Single-node world: intra-node allreduce per segment.
+	if mach.Spec.Nodes == 1 {
+		mod := h.Mods.Intra(cfg.SMod)
+		for _, s := range segs {
+			p.Wait(mod.Iallreduce(p, node, sbuf.Slice(s.Lo, s.Hi), rbuf.Slice(s.Lo, s.Hi), op, dt, coll.Params{}))
+		}
+		return
+	}
+
+	// Four-stage pipeline: at step t, segment t enters sr while segments
+	// t-1, t-2, t-3 are in ir, ib, sb. Waiting on all stage requests at the
+	// end of each step reproduces the task barriers of Fig 5.
+	for t := 0; t < u+3; t++ {
+		var reqs []*mpi.Request
+		if t < u {
+			s := segs[t]
+			reqs = append(reqs, h.SR(p, node, sbuf.Slice(s.Lo, s.Hi), rbuf.Slice(s.Lo, s.Hi), op, dt, cfg))
+		}
+		if iAmLeader {
+			if j := t - 1; j >= 0 && j < u {
+				s := segs[j]
+				seg := rbuf.Slice(s.Lo, s.Hi)
+				reqs = append(reqs, h.IR(p, leaders, seg, seg, op, dt, 0, cfg))
+			}
+			if j := t - 2; j >= 0 && j < u {
+				s := segs[j]
+				reqs = append(reqs, h.IB(p, leaders, rbuf.Slice(s.Lo, s.Hi), 0, cfg))
+			}
+		}
+		if j := t - 3; j >= 0 && j < u {
+			s := segs[j]
+			reqs = append(reqs, h.SB(p, node, rbuf.Slice(s.Lo, s.Hi), cfg))
+		}
+		p.Wait(reqs...)
+	}
+}

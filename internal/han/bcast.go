@@ -1,0 +1,103 @@
+package han
+
+import (
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/mpi"
+)
+
+// Bcast performs the hierarchical broadcast of Fig 1 on the world
+// communicator. The message is split into u = ceil(m/fs) segments; node
+// leaders execute
+//
+//	ib(0), sbib(1), …, sbib(u-1), sb(u-1)
+//
+// where sbib(i) runs the inter-node broadcast of segment i concurrently
+// with the intra-node broadcast of segment i-1, and the remaining ranks
+// execute sb(0) … sb(u-1). Passing the zero Config lets the decision
+// function (autotuned or default) pick the configuration. root is a world
+// rank.
+func (h *HAN) Bcast(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) {
+	w := h.W
+	if w.Size() == 1 || buf.N == 0 {
+		return
+	}
+	cfg = h.resolve(coll.Bcast, buf.N, cfg)
+	defer h.span(p, "han.Bcast", buf.N)()
+	node, leaders := h.comms(p)
+	mach := w.Mach
+	rootNode := mach.NodeOf(root)
+	rootIsLeader := mach.IsNodeLeader(root)
+	me := p.Rank
+	iAmLeader := mach.IsNodeLeader(me)
+	segs := segments(buf.N, cfg.FS)
+
+	// Single-node world: intra-node broadcasts only.
+	if mach.Spec.Nodes == 1 {
+		mod := h.Mods.Intra(cfg.SMod)
+		rootLocal := node.RankOfWorld(root)
+		for _, s := range segs {
+			p.Wait(mod.Ibcast(p, node, buf.Slice(s.Lo, s.Hi), rootLocal, coll.Params{}))
+		}
+		return
+	}
+
+	// When the root is not its node's leader, it feeds segments to the
+	// leader over the node comm so the inter-node stage can start from a
+	// leader (the shuffle real HAN performs). The root still participates
+	// in the sb tasks below.
+	const feedTag = 1
+	if me == root && !rootIsLeader {
+		for _, s := range segs {
+			node.Send(p, buf.Slice(s.Lo, s.Hi), 0, feedTag)
+		}
+	}
+
+	if iAmLeader {
+		feed := make([]*mpi.Request, len(segs))
+		if p.Node() == rootNode && !rootIsLeader {
+			rootLocal := node.RankOfWorld(root)
+			for i, s := range segs {
+				feed[i] = node.Irecv(p, buf.Slice(s.Lo, s.Hi), rootLocal, feedTag)
+			}
+		}
+		var prevSB *mpi.Request
+		for i, s := range segs {
+			if feed[i] != nil {
+				p.Wait(feed[i])
+			}
+			// sbib(i): inter-node broadcast of segment i overlapped with the
+			// intra-node broadcast of segment i-1 (for i = 0 this is plain
+			// ib(0)).
+			ib := h.IB(p, leaders, buf.Slice(s.Lo, s.Hi), rootNode, cfg)
+			p.Wait(ib, prevSB)
+			prevSB = h.SB(p, node, buf.Slice(s.Lo, s.Hi), cfg)
+		}
+		p.Wait(prevSB) // trailing sb(u-1)
+		return
+	}
+
+	// Non-leaders (including a non-leader root): sb(0) … sb(u-1).
+	for _, s := range segs {
+		p.Wait(h.SB(p, node, buf.Slice(s.Lo, s.Hi), cfg))
+	}
+}
+
+// segments splits [0, n) into chunks of at most seg bytes (seg <= 0 means a
+// single segment).
+func segments(n, seg int) []struct{ Lo, Hi int } {
+	if seg <= 0 || seg >= n {
+		if n == 0 {
+			return nil
+		}
+		return []struct{ Lo, Hi int }{{0, n}}
+	}
+	var out []struct{ Lo, Hi int }
+	for lo := 0; lo < n; lo += seg {
+		hi := lo + seg
+		if hi > n {
+			hi = n
+		}
+		out = append(out, struct{ Lo, Hi int }{lo, hi})
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package han
+
+import (
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/mpi"
+)
+
+// This file implements the GPU half of the paper's future work: combining a
+// new intra-node GPU collective submodule (coll.CUDA) with the existing
+// inter-node submodules. Payloads are GPU-resident; each segment of a
+// GPU-aware collective passes through staging (PCIe), inter-node, and
+// device-fabric stages that pipeline exactly like the CPU tasks of Figs 1
+// and 5:
+//
+//	BcastGPU:     d2h (root leader) -> ib -> gb (H2D at leaders + NVLink bcast)
+//	AllreduceGPU: gr (NVLink reduce) -> d2h -> ir -> ib -> h2d -> gb
+//
+// Without GPUDirect, inter-node stages operate on host copies, so the PCIe
+// stagings are explicit pipeline stages rather than hidden costs.
+
+// GPUAware reports whether the world's machine models GPUs.
+func (h *HAN) GPUAware() bool { return h.W.Mach.Spec.HasGPUs() }
+
+// GB issues the intra-node GPU broadcast of one segment from the node
+// leader's GPU (task "gb").
+func (h *HAN) GB(p *mpi.Proc, node *mpi.Comm, seg mpi.Buf, cfg Config) *mpi.Request {
+	return h.traced(p, "gb", seg.N, h.Mods.CUDA.Ibcast(p, node, seg, 0, coll.Params{}))
+}
+
+// GR issues the intra-node GPU reduction of one segment to the node
+// leader's GPU (task "gr").
+func (h *HAN) GR(p *mpi.Proc, node *mpi.Comm, sseg, rseg mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) *mpi.Request {
+	return h.traced(p, "gr", sseg.N, h.Mods.CUDA.Ireduce(p, node, sseg, rseg, op, dt, 0, coll.Params{}))
+}
+
+// d2hAsync stages a segment from device to host in a helper process.
+func (h *HAN) d2hAsync(p *mpi.Proc, n int) *mpi.Request {
+	req := mpi.NewRequest()
+	cuda := h.Mods.CUDA
+	p.SpawnHelper("d2h", func(hp *mpi.Proc) {
+		cuda.D2H(hp, n)
+		req.Complete(hp.W.Eng())
+	})
+	return h.traced(p, "d2h", n, req)
+}
+
+// h2dAsync stages a segment from host to device in a helper process.
+func (h *HAN) h2dAsync(p *mpi.Proc, n int) *mpi.Request {
+	req := mpi.NewRequest()
+	cuda := h.Mods.CUDA
+	p.SpawnHelper("h2d", func(hp *mpi.Proc) {
+		cuda.H2D(hp, n)
+		req.Complete(hp.W.Eng())
+	})
+	return h.traced(p, "h2d", n, req)
+}
+
+// BcastGPU broadcasts a GPU-resident buffer from the node-leader world rank
+// root: the root leader stages each segment to the host, the inter-node
+// submodule moves it between node leaders, and the GPU submodule fans it
+// out over NVLink — three pipelined stages per segment.
+func (h *HAN) BcastGPU(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) {
+	w := h.W
+	if !w.Mach.Spec.HasGPUs() {
+		panic("han: BcastGPU on a machine without GPUs")
+	}
+	if !w.Mach.IsNodeLeader(root) {
+		panic("han: BcastGPU requires a node-leader root")
+	}
+	if buf.N == 0 || w.Size() == 1 {
+		return
+	}
+	cfg = h.resolve(coll.Bcast, buf.N, cfg)
+	defer h.span(p, "han.BcastGPU", buf.N)()
+	node, leaders := h.comms(p)
+	mach := w.Mach
+	rootNode := mach.NodeOf(root)
+	isLeader := mach.IsNodeLeader(p.Rank)
+	onRootNode := p.Node() == rootNode
+	segs := segments(buf.N, cfg.FS)
+	u := len(segs)
+
+	// Pipeline: at step t, the root leader stages segment t down to the
+	// host while segment t-1 crosses the network and segment t-2 fans out
+	// on the GPUs. Leaders prepend an H2D to their gb work; the upload and
+	// the NVLink broadcast of one segment are sequential but pipeline with
+	// the other stages of other segments.
+	for t := 0; t < u+2; t++ {
+		var reqs []*mpi.Request
+		if isLeader && onRootNode && p.Rank == root && t < u {
+			s := segs[t]
+			reqs = append(reqs, h.d2hAsync(p, s.Hi-s.Lo))
+		}
+		if isLeader {
+			if j := t - 1; j >= 0 && j < u {
+				s := segs[j]
+				reqs = append(reqs, h.IB(p, leaders, buf.Slice(s.Lo, s.Hi), rootNode, cfg))
+			}
+		}
+		if j := t - 2; j >= 0 && j < u {
+			s := segs[j]
+			if isLeader && !onRootNode {
+				// Upload the freshly received host segment, then broadcast
+				// it over NVLink; chain inside one helper so the stage
+				// completes as a unit.
+				req := mpi.NewRequest()
+				width := s.Hi - s.Lo
+				seg := buf.Slice(s.Lo, s.Hi)
+				hh := h
+				p.SpawnHelper("h2d-gb", func(hp *mpi.Proc) {
+					hh.Mods.CUDA.H2D(hp, width)
+					hp.Wait(hh.GB(hp, node, seg, cfg))
+					req.Complete(hp.W.Eng())
+				})
+				reqs = append(reqs, req)
+			} else {
+				reqs = append(reqs, h.GB(p, node, buf.Slice(s.Lo, s.Hi), cfg))
+			}
+		}
+		p.Wait(reqs...)
+	}
+}
+
+// AllreduceGPU reduces GPU-resident buffers across the whole world: an
+// NVLink reduction per node, host staging, the split ir/ib inter-node
+// exchange, and an NVLink broadcast — six pipelined stages per segment.
+// Results land in rbuf (device-resident) on every rank.
+func (h *HAN) AllreduceGPU(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) {
+	w := h.W
+	if !w.Mach.Spec.HasGPUs() {
+		panic("han: AllreduceGPU on a machine without GPUs")
+	}
+	if sbuf.N != rbuf.N {
+		panic("han: AllreduceGPU buffer size mismatch")
+	}
+	if sbuf.N == 0 {
+		return
+	}
+	if w.Size() == 1 {
+		rbuf.CopyFrom(sbuf)
+		return
+	}
+	cfg = h.resolve(coll.Allreduce, sbuf.N, cfg)
+	defer h.span(p, "han.AllreduceGPU", sbuf.N)()
+	node, leaders := h.comms(p)
+	isLeader := w.Mach.IsNodeLeader(p.Rank)
+	segs := segments(sbuf.N, cfg.FS)
+	u := len(segs)
+
+	for t := 0; t < u+5; t++ {
+		var reqs []*mpi.Request
+		if t < u {
+			s := segs[t]
+			reqs = append(reqs, h.GR(p, node, sbuf.Slice(s.Lo, s.Hi), rbuf.Slice(s.Lo, s.Hi), op, dt, cfg))
+		}
+		if isLeader {
+			if j := t - 1; j >= 0 && j < u {
+				s := segs[j]
+				reqs = append(reqs, h.d2hAsync(p, s.Hi-s.Lo))
+			}
+			if j := t - 2; j >= 0 && j < u {
+				s := segs[j]
+				seg := rbuf.Slice(s.Lo, s.Hi)
+				reqs = append(reqs, h.IR(p, leaders, seg, seg, op, dt, 0, cfg))
+			}
+			if j := t - 3; j >= 0 && j < u {
+				s := segs[j]
+				reqs = append(reqs, h.IB(p, leaders, rbuf.Slice(s.Lo, s.Hi), 0, cfg))
+			}
+			if j := t - 4; j >= 0 && j < u {
+				s := segs[j]
+				reqs = append(reqs, h.h2dAsync(p, s.Hi-s.Lo))
+			}
+		}
+		if j := t - 5; j >= 0 && j < u {
+			s := segs[j]
+			reqs = append(reqs, h.GB(p, node, rbuf.Slice(s.Lo, s.Hi), cfg))
+		}
+		p.Wait(reqs...)
+	}
+}

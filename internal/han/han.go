@@ -1,0 +1,280 @@
+// Package han implements the paper's primary contribution: HAN, the
+// Hierarchical AutotuNed collective communication framework.
+//
+// HAN does not implement new collective algorithms. It groups processes by
+// node (the two levels reachable through the portable
+// MPI_Comm_split_type API), picks suitable existing modules as submodules
+// for each level — Libnbc or ADAPT for non-blocking inter-node collectives,
+// SM or SOLO for intra-node — and composes their fine-grained operations
+// into *tasks* pipelined over message segments:
+//
+//   - MPI_Bcast (Fig 1): tasks ib, sbib, sb — node leaders run
+//     ib(0), sbib(1) … sbib(u-1), sb(u-1); other ranks run sb(0) … sb(u-1).
+//   - MPI_Allreduce (Fig 5): tasks sr, irsr, ibirsr, sbibirsr, sbibir,
+//     sbib, sb on leaders and sr/sbsr/sb on the other ranks.
+//
+// The task structure is what the autotuning component (package autotune)
+// benchmarks and what its cost model composes; the Config type is exactly
+// the output schema of Table II.
+package han
+
+import (
+	"fmt"
+
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/trace"
+)
+
+// Config is the autotuned parameter set of one HAN collective — the output
+// columns of Table II in the paper.
+type Config struct {
+	// FS is the HAN segment size in bytes (fs): messages are split into
+	// ceil(m/fs) segments that pipeline through the task schedule.
+	FS int
+	// IMod names the inter-node submodule: "libnbc" or "adapt".
+	IMod string
+	// SMod names the intra-node submodule: "sm" or "solo".
+	SMod string
+	// IBAlg is the inter-node broadcast algorithm, when IMod supports a
+	// choice (ibalg).
+	IBAlg coll.Alg
+	// IRAlg is the inter-node reduce algorithm, when supported (iralg).
+	IRAlg coll.Alg
+	// IBS is the inter-node broadcast internal segment size (ibs), 0 for
+	// the module default.
+	IBS int
+	// IRS is the inter-node reduce internal segment size (irs).
+	IRS int
+}
+
+// String formats the configuration compactly for reports.
+func (c Config) String() string {
+	return fmt.Sprintf("fs=%s imod=%s smod=%s ibalg=%v iralg=%v ibs=%s irs=%s",
+		SizeString(c.FS), c.IMod, c.SMod, c.IBAlg, c.IRAlg, SizeString(c.IBS), SizeString(c.IRS))
+}
+
+// SizeString renders a byte count in IMB style (4B, 64KB, 2MB).
+func SizeString(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Modules bundles the shared submodule instances of one world. SM and SOLO
+// keep per-operation rendezvous state, so all ranks must use the same
+// Modules value.
+type Modules struct {
+	Libnbc *coll.Libnbc
+	Adapt  *coll.Adapt
+	SM     *coll.SM
+	SOLO   *coll.SOLO
+	CUDA   *coll.CUDA
+}
+
+// NewModules returns a fresh set of submodule instances.
+func NewModules() *Modules {
+	return &Modules{
+		Libnbc: coll.NewLibnbc(),
+		Adapt:  coll.NewAdapt(),
+		SM:     coll.NewSM(),
+		SOLO:   coll.NewSOLO(),
+		CUDA:   coll.NewCUDA(),
+	}
+}
+
+// Inter resolves an inter-node submodule by name.
+func (m *Modules) Inter(name string) coll.Module {
+	switch name {
+	case "libnbc":
+		return m.Libnbc
+	case "adapt":
+		return m.Adapt
+	}
+	panic(fmt.Sprintf("han: unknown inter-node submodule %q", name))
+}
+
+// Intra resolves an intra-node submodule by name.
+func (m *Modules) Intra(name string) coll.Module {
+	switch name {
+	case "sm":
+		return m.SM
+	case "solo":
+		return m.SOLO
+	}
+	panic(fmt.Sprintf("han: unknown intra-node submodule %q", name))
+}
+
+// InterNames lists the available inter-node submodules.
+func InterNames() []string { return []string{"libnbc", "adapt"} }
+
+// IntraNames lists the available intra-node submodules.
+func IntraNames() []string { return []string{"sm", "solo"} }
+
+// DecisionFunc maps a collective kind and message size to a configuration.
+// The autotuner produces one; DefaultDecision is the untuned fallback.
+type DecisionFunc func(kind coll.Kind, msgBytes int) Config
+
+// DefaultDecision is HAN's built-in static decision used before any tuning
+// table exists. It encodes the paper's published heuristics: ADAPT trees
+// inter-node (binary for latency-bound sizes, chain once there are enough
+// segments to fill the pipeline), SM below the 512 KB SOLO threshold, and
+// internal segments matching the HAN segment for bandwidth-bound sizes.
+func DefaultDecision(kind coll.Kind, msgBytes int) Config {
+	cfg := Config{
+		FS:    512 << 10,
+		IMod:  "adapt",
+		SMod:  "sm",
+		IBAlg: coll.AlgBinary,
+		IRAlg: coll.AlgBinary,
+		IBS:   64 << 10,
+		IRS:   64 << 10,
+	}
+	if msgBytes > 512<<10 {
+		cfg.SMod = "solo"
+	}
+	if msgBytes <= 64<<10 {
+		cfg.FS = msgBytes
+		cfg.IBS, cfg.IRS = 0, 0
+	}
+	if msgBytes >= 2<<20 {
+		// Bandwidth-bound: a pipelined chain across leaders, HAN segments
+		// sized for ~8 pipeline stages, and internal segments at a quarter
+		// of the HAN segment so chain hops overlap within each task.
+		cfg.IBAlg, cfg.IRAlg = coll.AlgChain, coll.AlgChain
+		cfg.FS = msgBytes / 8
+		if cfg.FS < 512<<10 {
+			cfg.FS = 512 << 10
+		}
+		cfg.IBS = cfg.FS / 4
+		if cfg.IBS < 128<<10 {
+			cfg.IBS = 128 << 10
+		}
+		cfg.IRS = cfg.IBS
+		if kind == coll.Bcast && msgBytes < 8<<20 {
+			// For mid-size broadcasts the intra stage is cheap relative to
+			// the inter stage, so per-task pipeline refills outweigh the
+			// ib/sb overlap; a single HAN segment with internal chain
+			// pipelining wins (the autotuner finds the same).
+			cfg.FS = msgBytes
+			cfg.IBS, cfg.IRS = 512<<10, 512<<10
+		}
+	}
+	return cfg
+}
+
+// HAN is the framework instance bound to one world. All ranks share it.
+type HAN struct {
+	W    *mpi.World
+	Mods *Modules
+	// Decide supplies per-call configurations when the caller passes the
+	// zero Config; defaults to DefaultDecision.
+	Decide DecisionFunc
+}
+
+// New creates a HAN instance for the world with fresh submodules and the
+// default decision function.
+func New(w *mpi.World) *HAN {
+	return &HAN{W: w, Mods: NewModules(), Decide: DefaultDecision}
+}
+
+// resolve fills a zero Config from the decision function and applies
+// defaults to partially-specified ones.
+func (h *HAN) resolve(kind coll.Kind, msgBytes int, cfg Config) Config {
+	if cfg == (Config{}) {
+		d := h.Decide
+		if d == nil {
+			d = DefaultDecision
+		}
+		cfg = d(kind, msgBytes)
+	}
+	if cfg.FS <= 0 {
+		cfg.FS = msgBytes
+	}
+	if cfg.IMod == "" {
+		cfg.IMod = "adapt"
+	}
+	if cfg.SMod == "" {
+		cfg.SMod = "sm"
+	}
+	if cfg.IBAlg == coll.AlgDefault {
+		if cfg.IMod == "adapt" {
+			cfg.IBAlg = coll.AlgBinary
+		} else {
+			cfg.IBAlg = coll.AlgBinomial
+		}
+	}
+	if cfg.IRAlg == coll.AlgDefault {
+		cfg.IRAlg = cfg.IBAlg
+	}
+	return cfg
+}
+
+// comms returns the node communicator of p's node and the leader
+// communicator.
+func (h *HAN) comms(p *mpi.Proc) (node, leaders *mpi.Comm) {
+	return h.W.NodeComm(p.Node()), h.W.LeaderComm()
+}
+
+// traced brackets a task request with trace events when the world has a
+// tracer attached; with none it returns the request untouched.
+func (h *HAN) traced(p *mpi.Proc, name string, size int, req *mpi.Request) *mpi.Request {
+	rec := h.W.Tracer
+	if rec == nil {
+		return req
+	}
+	rec.Record(trace.Event{T: float64(p.Now()), Rank: p.Rank, Kind: trace.KindTaskBegin, Name: name, Size: size, Peer: -1})
+	eng := h.W.Eng()
+	rank := p.Rank
+	req.Done().OnFire(func() {
+		rec.Record(trace.Event{T: float64(eng.Now()), Rank: rank, Kind: trace.KindTaskEnd, Name: name, Size: size, Peer: -1})
+	})
+	return req
+}
+
+// span brackets a whole collective with trace events; the returned func
+// closes the span.
+func (h *HAN) span(p *mpi.Proc, name string, size int) func() {
+	rec := h.W.Tracer
+	if rec == nil {
+		return func() {}
+	}
+	rec.Record(trace.Event{T: float64(p.Now()), Rank: p.Rank, Kind: trace.KindCollBegin, Name: name, Size: size, Peer: -1})
+	return func() {
+		rec.Record(trace.Event{T: float64(p.Now()), Rank: p.Rank, Kind: trace.KindCollEnd, Name: name, Size: size, Peer: -1})
+	}
+}
+
+// Task wrappers: the fine-grained operations HAN composes. They are
+// exported so the autotuner can benchmark tasks in isolation exactly as the
+// paper does (sections III-A2 and III-B2).
+
+// IB issues the inter-node broadcast of one segment on the leader
+// communicator (task "ib").
+func (h *HAN) IB(p *mpi.Proc, leaders *mpi.Comm, seg mpi.Buf, rootLeader int, cfg Config) *mpi.Request {
+	return h.traced(p, "ib", seg.N, h.Mods.Inter(cfg.IMod).Ibcast(p, leaders, seg, rootLeader, coll.Params{Alg: cfg.IBAlg, Seg: cfg.IBS}))
+}
+
+// SB issues the intra-node broadcast of one segment from the node leader
+// (task "sb").
+func (h *HAN) SB(p *mpi.Proc, node *mpi.Comm, seg mpi.Buf, cfg Config) *mpi.Request {
+	return h.traced(p, "sb", seg.N, h.Mods.Intra(cfg.SMod).Ibcast(p, node, seg, 0, coll.Params{}))
+}
+
+// SR issues the intra-node reduction of one segment to the node leader
+// (task "sr").
+func (h *HAN) SR(p *mpi.Proc, node *mpi.Comm, sseg, rseg mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) *mpi.Request {
+	return h.traced(p, "sr", sseg.N, h.Mods.Intra(cfg.SMod).Ireduce(p, node, sseg, rseg, op, dt, 0, coll.Params{}))
+}
+
+// IR issues the inter-node reduction of one segment to leader 0 (task
+// "ir"). The same root and algorithm as IB maximises full-duplex overlap
+// (paper section III-B1).
+func (h *HAN) IR(p *mpi.Proc, leaders *mpi.Comm, sseg, rseg mpi.Buf, op mpi.Op, dt mpi.Datatype, rootLeader int, cfg Config) *mpi.Request {
+	return h.traced(p, "ir", sseg.N, h.Mods.Inter(cfg.IMod).Ireduce(p, leaders, sseg, rseg, op, dt, rootLeader, coll.Params{Alg: cfg.IRAlg, Seg: cfg.IRS}))
+}

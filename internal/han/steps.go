@@ -1,0 +1,176 @@
+package han
+
+import (
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// This file provides instrumented variants of the Bcast and Allreduce task
+// pipelines. They run the exact task schedules of Figs 1 and 5 over phantom
+// segments and report the duration of every task step on the calling rank —
+// the measurements the task-based autotuner feeds its cost model with
+// (sections III-A2 and III-B2 of the paper).
+
+// TimeIB measures a lone ib task (inter-node broadcast of one fs-sized
+// segment, leaders only). Non-leaders return 0 immediately.
+func (h *HAN) TimeIB(p *mpi.Proc, cfg Config) sim.Time {
+	if !h.W.Mach.IsNodeLeader(p.Rank) {
+		return 0
+	}
+	leaders := h.W.LeaderComm()
+	leaders.Barrier(p)
+	t0 := p.Now()
+	p.Wait(h.IB(p, leaders, mpi.Phantom(cfg.FS), 0, cfg))
+	return p.Now() - t0
+}
+
+// TimeSB measures a lone sb task (intra-node broadcast of one fs-sized
+// segment). Every rank participates; the returned duration is the cost on
+// the calling rank (the leader's value enters equation 3).
+func (h *HAN) TimeSB(p *mpi.Proc, cfg Config) sim.Time {
+	node := h.W.NodeComm(p.Node())
+	node.Barrier(p)
+	t0 := p.Now()
+	p.Wait(h.SB(p, node, mpi.Phantom(cfg.FS), cfg))
+	return p.Now() - t0
+}
+
+// TimeConcurrentSBIB measures an sb and an ib issued simultaneously with no
+// preceding task history (the green bars of Fig 2: the naive measurement
+// that misses the staggered starting times the real pipeline produces).
+func (h *HAN) TimeConcurrentSBIB(p *mpi.Proc, cfg Config) sim.Time {
+	w := h.W
+	node, leaders := h.comms(p)
+	w.World().Barrier(p)
+	t0 := p.Now()
+	var reqs []*mpi.Request
+	if w.Mach.IsNodeLeader(p.Rank) {
+		reqs = append(reqs, h.IB(p, leaders, mpi.Phantom(cfg.FS), 0, cfg))
+	}
+	reqs = append(reqs, h.SB(p, node, mpi.Phantom(cfg.FS), cfg))
+	p.Wait(reqs...)
+	return p.Now() - t0
+}
+
+// BcastSteps runs the Fig 1 leader schedule over u phantom segments and
+// returns, on leaders, the per-task durations
+//
+//	[ ib(0), sbib(1), …, sbib(u-1), sb(u-1) ]
+//
+// (length u+1). Non-leaders participate in the sb tasks and return nil.
+// The sbib(i) durations exhibit the pipeline warm-up and stabilisation of
+// Fig 3.
+func (h *HAN) BcastSteps(p *mpi.Proc, u int, cfg Config) []sim.Time {
+	w := h.W
+	if cfg.FS <= 0 {
+		panic("han: steps need an explicit segment size (cfg.FS)")
+	}
+	cfg = h.resolve(coll.Bcast, u*cfg.FS, cfg)
+	node, leaders := h.comms(p)
+	buf := mpi.Phantom(u * cfg.FS)
+	segs := segments(buf.N, cfg.FS)
+	w.World().Barrier(p)
+
+	if !w.Mach.IsNodeLeader(p.Rank) {
+		for _, s := range segs {
+			p.Wait(h.SB(p, node, buf.Slice(s.Lo, s.Hi), cfg))
+		}
+		return nil
+	}
+	steps := make([]sim.Time, 0, u+1)
+	var prevSB *mpi.Request
+	for _, s := range segs {
+		t0 := p.Now()
+		ib := h.IB(p, leaders, buf.Slice(s.Lo, s.Hi), 0, cfg)
+		p.Wait(ib, prevSB)
+		steps = append(steps, p.Now()-t0)
+		prevSB = h.SB(p, node, buf.Slice(s.Lo, s.Hi), cfg)
+	}
+	t0 := p.Now()
+	p.Wait(prevSB)
+	steps = append(steps, p.Now()-t0)
+	return steps
+}
+
+// AllreduceSteps runs the Fig 5 pipeline over u phantom segments and
+// returns, on leaders, the per-step durations
+//
+//	[ sr(0), irsr(1), ibirsr(2), sbibirsr(3..u-1), sbibir, sbib, sb ]
+//
+// (length u+3). Non-leaders participate in the sr/sb tasks and return nil.
+func (h *HAN) AllreduceSteps(p *mpi.Proc, u int, op mpi.Op, dt mpi.Datatype, cfg Config) []sim.Time {
+	w := h.W
+	if cfg.FS <= 0 {
+		panic("han: steps need an explicit segment size (cfg.FS)")
+	}
+	cfg = h.resolve(coll.Allreduce, u*cfg.FS, cfg)
+	node, leaders := h.comms(p)
+	sbuf := mpi.Phantom(u * cfg.FS)
+	rbuf := mpi.Phantom(u * cfg.FS)
+	segs := segments(sbuf.N, cfg.FS)
+	iAmLeader := w.Mach.IsNodeLeader(p.Rank)
+	w.World().Barrier(p)
+
+	steps := make([]sim.Time, 0, u+3)
+	for t := 0; t < u+3; t++ {
+		t0 := p.Now()
+		var reqs []*mpi.Request
+		if t < u {
+			s := segs[t]
+			reqs = append(reqs, h.SR(p, node, sbuf.Slice(s.Lo, s.Hi), rbuf.Slice(s.Lo, s.Hi), op, dt, cfg))
+		}
+		if iAmLeader {
+			if j := t - 1; j >= 0 && j < u {
+				s := segs[j]
+				seg := rbuf.Slice(s.Lo, s.Hi)
+				reqs = append(reqs, h.IR(p, leaders, seg, seg, op, dt, 0, cfg))
+			}
+			if j := t - 2; j >= 0 && j < u {
+				s := segs[j]
+				reqs = append(reqs, h.IB(p, leaders, rbuf.Slice(s.Lo, s.Hi), 0, cfg))
+			}
+		}
+		if j := t - 3; j >= 0 && j < u {
+			s := segs[j]
+			reqs = append(reqs, h.SB(p, node, rbuf.Slice(s.Lo, s.Hi), cfg))
+		}
+		p.Wait(reqs...)
+		steps = append(steps, p.Now()-t0)
+	}
+	if !iAmLeader {
+		return nil
+	}
+	return steps
+}
+
+// TimeConcurrentIBIR measures an ib and an ir issued simultaneously on
+// leaders (Fig 6: the full-duplex overlap between the inter-node broadcast
+// and reduction). Non-leaders return 0.
+func (h *HAN) TimeConcurrentIBIR(p *mpi.Proc, op mpi.Op, dt mpi.Datatype, cfg Config) sim.Time {
+	if !h.W.Mach.IsNodeLeader(p.Rank) {
+		return 0
+	}
+	leaders := h.W.LeaderComm()
+	bbuf := mpi.Phantom(cfg.FS)
+	rIn, rOut := mpi.Phantom(cfg.FS), mpi.Phantom(cfg.FS)
+	leaders.Barrier(p)
+	t0 := p.Now()
+	ib := h.IB(p, leaders, bbuf, 0, cfg)
+	ir := h.IR(p, leaders, rIn, rOut, op, dt, 0, cfg)
+	p.Wait(ib, ir)
+	return p.Now() - t0
+}
+
+// TimeIR measures a lone ir task on leaders; non-leaders return 0.
+func (h *HAN) TimeIR(p *mpi.Proc, op mpi.Op, dt mpi.Datatype, cfg Config) sim.Time {
+	if !h.W.Mach.IsNodeLeader(p.Rank) {
+		return 0
+	}
+	leaders := h.W.LeaderComm()
+	rIn, rOut := mpi.Phantom(cfg.FS), mpi.Phantom(cfg.FS)
+	leaders.Barrier(p)
+	t0 := p.Now()
+	p.Wait(h.IR(p, leaders, rIn, rOut, op, dt, 0, cfg))
+	return p.Now() - t0
+}

@@ -1,0 +1,123 @@
+package han
+
+import (
+	"testing"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+func stepCfg() Config {
+	return Config{FS: 64 << 10, IMod: "adapt", SMod: "sm", IBAlg: coll.AlgBinary, IRAlg: coll.AlgBinary, IBS: 16 << 10, IRS: 16 << 10}
+}
+
+func TestBcastStepsShape(t *testing.T) {
+	spec := cluster.Mini(4, 3)
+	const u = 6
+	perLeader := make(map[int][]sim.Time)
+	runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
+		steps := h.BcastSteps(p, u, stepCfg())
+		if h.W.Mach.IsNodeLeader(p.Rank) {
+			perLeader[p.Node()] = steps
+		} else if steps != nil {
+			t.Errorf("non-leader %d returned steps", p.Rank)
+		}
+	})
+	if len(perLeader) != spec.Nodes {
+		t.Fatalf("got steps from %d leaders, want %d", len(perLeader), spec.Nodes)
+	}
+	for node, steps := range perLeader {
+		if len(steps) != u+1 {
+			t.Fatalf("leader %d: %d steps, want %d", node, len(steps), u+1)
+		}
+		for i, s := range steps[:u] {
+			if s <= 0 {
+				t.Errorf("leader %d step %d non-positive: %v", node, i, s)
+			}
+		}
+	}
+	// ib(0) on the root's own node must be among the fastest (Fig 2's
+	// staggered finish times).
+	if perLeader[0][0] > perLeader[spec.Nodes-1][0] {
+		t.Errorf("root leader ib(0)=%v slower than last leader's %v", perLeader[0][0], perLeader[spec.Nodes-1][0])
+	}
+}
+
+func TestAllreduceStepsShape(t *testing.T) {
+	spec := cluster.Mini(3, 3)
+	const u = 6
+	var steps []sim.Time
+	runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
+		s := h.AllreduceSteps(p, u, mpi.OpSum, mpi.Float64, stepCfg())
+		if p.Rank == 0 {
+			steps = s
+		}
+	})
+	if len(steps) != u+3 {
+		t.Fatalf("%d steps, want %d", len(steps), u+3)
+	}
+	// Middle steps (full sbibirsr) must be the heaviest ones; the pure-sb
+	// drain step the lightest of the busy ones.
+	mid := steps[u/2+1]
+	first := steps[0] // sr only
+	if mid <= first {
+		t.Errorf("full pipeline step (%v) should cost more than the sr-only step (%v)", mid, first)
+	}
+}
+
+func TestStepsRequireSegmentSize(t *testing.T) {
+	spec := cluster.Mini(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without FS")
+		}
+	}()
+	runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
+		h.BcastSteps(p, 4, Config{})
+	})
+}
+
+func TestTimeIBAndSBPositiveOnLeaders(t *testing.T) {
+	spec := cluster.Mini(3, 2)
+	runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
+		ib := h.TimeIB(p, stepCfg())
+		sb := h.TimeSB(p, stepCfg())
+		if h.W.Mach.IsNodeLeader(p.Rank) {
+			if ib <= 0 {
+				t.Errorf("leader %d: ib %v", p.Rank, ib)
+			}
+		} else if ib != 0 {
+			t.Errorf("non-leader %d: ib %v, want 0", p.Rank, ib)
+		}
+		if sb <= 0 {
+			t.Errorf("rank %d: sb %v", p.Rank, sb)
+		}
+	})
+}
+
+// The concurrent ib+ir measurement (Fig 6) must show real overlap on the
+// duplex fabric: conc < ib + ir.
+func TestIbIrOverlapOnDuplexFabric(t *testing.T) {
+	spec := cluster.Mini(4, 2)
+	cfg := Config{FS: 512 << 10, IMod: "adapt", SMod: "sm", IBAlg: coll.AlgChain, IRAlg: coll.AlgChain, IBS: 128 << 10, IRS: 128 << 10}
+	var ib, ir, conc sim.Time
+	runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
+		if d := h.TimeIB(p, cfg); p.Rank == 0 {
+			ib = d
+		}
+		if d := h.TimeIR(p, mpi.OpSum, mpi.Float64, cfg); p.Rank == 0 {
+			ir = d
+		}
+		if d := h.TimeConcurrentIBIR(p, mpi.OpSum, mpi.Float64, cfg); p.Rank == 0 {
+			conc = d
+		}
+	})
+	if conc >= ib+ir {
+		t.Errorf("no ib/ir overlap: conc=%v, ib+ir=%v", conc, ib+ir)
+	}
+	if conc < ib && conc < ir {
+		t.Errorf("conc (%v) below both parts (%v, %v): impossible", conc, ib, ir)
+	}
+}

@@ -1,0 +1,156 @@
+package han
+
+import (
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/mpi"
+)
+
+// This file implements the paper's stated future work: "explore approaches
+// based on an increased number of hardware levels". On machines whose Spec
+// models NUMA sockets (SocketsPerNode > 1), HAN can split collectives over
+// *three* levels — socket, node, inter-node — adding one task type per
+// direction:
+//
+//	Bcast:     ib (inter-node) -> nb (node: socket leaders) -> sb (socket)
+//	Allreduce: sr (socket) -> nr (node) -> ir -> ib -> nb -> sb
+//
+// The task pipeline generalises directly: at step t, segment t enters the
+// innermost upward stage while older segments occupy the outer stages, so
+// the three levels overlap exactly as the two-level design overlaps two.
+
+// ThreeLevel reports whether the world's machine models the socket level.
+func (h *HAN) ThreeLevel() bool { return h.W.Mach.Spec.MultiSocket() }
+
+// NB issues the node-level broadcast of one segment among a node's socket
+// leaders (task "nb"). The node leader (socket 0's leader) is the root.
+func (h *HAN) NB(p *mpi.Proc, sockLeaders *mpi.Comm, seg mpi.Buf, cfg Config) *mpi.Request {
+	return h.Mods.Intra(cfg.SMod).Ibcast(p, sockLeaders, seg, 0, coll.Params{})
+}
+
+// NR issues the node-level reduction of one segment across a node's socket
+// leaders to the node leader (task "nr").
+func (h *HAN) NR(p *mpi.Proc, sockLeaders *mpi.Comm, sseg, rseg mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) *mpi.Request {
+	return h.Mods.Intra(cfg.SMod).Ireduce(p, sockLeaders, sseg, rseg, op, dt, 0, coll.Params{})
+}
+
+// Bcast3 performs a three-level hierarchical broadcast (socket, node,
+// inter-node) with the segment pipeline
+//
+//	leaders:        ib(i) ∥ nb(i-1) ∥ sb(i-2)
+//	socket leaders:         nb(i-1) ∥ sb(i-2)
+//	other ranks:                      sb(i-2)
+//
+// root must currently be a node leader (world rank multiple of PPN); the
+// general-root shuffle of the two-level Bcast applies unchanged and is
+// omitted here for clarity.
+func (h *HAN) Bcast3(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) {
+	w := h.W
+	mach := w.Mach
+	if !mach.Spec.MultiSocket() {
+		h.Bcast(p, buf, root, cfg)
+		return
+	}
+	if !mach.IsNodeLeader(root) {
+		panic("han: Bcast3 requires a node-leader root")
+	}
+	if buf.N == 0 || w.Size() == 1 {
+		return
+	}
+	cfg = h.resolve(coll.Bcast, buf.N, cfg)
+	segs := segments(buf.N, cfg.FS)
+	u := len(segs)
+
+	sock := w.SocketComm(p.Node(), mach.SocketOf(p.Rank))
+	sockLeaders := w.SocketLeaderComm(p.Node())
+	leaders := w.LeaderComm()
+	rootNode := mach.NodeOf(root)
+	isNodeLeader := mach.IsNodeLeader(p.Rank)
+	isSockLeader := mach.IsSocketLeader(p.Rank)
+
+	for t := 0; t < u+2; t++ {
+		var reqs []*mpi.Request
+		if isNodeLeader && t < u {
+			s := segs[t]
+			reqs = append(reqs, h.IB(p, leaders, buf.Slice(s.Lo, s.Hi), rootNode, cfg))
+		}
+		if isSockLeader {
+			if j := t - 1; j >= 0 && j < u {
+				s := segs[j]
+				reqs = append(reqs, h.NB(p, sockLeaders, buf.Slice(s.Lo, s.Hi), cfg))
+			}
+		}
+		if j := t - 2; j >= 0 && j < u {
+			s := segs[j]
+			reqs = append(reqs, h.SB(p, sock, buf.Slice(s.Lo, s.Hi), cfg))
+		}
+		p.Wait(reqs...)
+	}
+}
+
+// Allreduce3 performs a three-level hierarchical allreduce with a six-stage
+// segment pipeline (sr, nr, ir, ib, nb, sb). The operation must be
+// commutative; results land in rbuf on every rank.
+func (h *HAN) Allreduce3(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) {
+	w := h.W
+	mach := w.Mach
+	if !mach.Spec.MultiSocket() {
+		h.Allreduce(p, sbuf, rbuf, op, dt, cfg)
+		return
+	}
+	if sbuf.N != rbuf.N {
+		panic("han: Allreduce3 buffer size mismatch")
+	}
+	if sbuf.N == 0 {
+		return
+	}
+	if w.Size() == 1 {
+		rbuf.CopyFrom(sbuf)
+		return
+	}
+	cfg = h.resolve(coll.Allreduce, sbuf.N, cfg)
+	segs := segments(sbuf.N, cfg.FS)
+	u := len(segs)
+
+	sock := w.SocketComm(p.Node(), mach.SocketOf(p.Rank))
+	sockLeaders := w.SocketLeaderComm(p.Node())
+	leaders := w.LeaderComm()
+	isNodeLeader := mach.IsNodeLeader(p.Rank)
+	isSockLeader := mach.IsSocketLeader(p.Rank)
+
+	for t := 0; t < u+5; t++ {
+		var reqs []*mpi.Request
+		if t < u {
+			s := segs[t]
+			reqs = append(reqs, h.SR(p, sock, sbuf.Slice(s.Lo, s.Hi), rbuf.Slice(s.Lo, s.Hi), op, dt, cfg))
+		}
+		if isSockLeader {
+			if j := t - 1; j >= 0 && j < u {
+				s := segs[j]
+				seg := rbuf.Slice(s.Lo, s.Hi)
+				reqs = append(reqs, h.NR(p, sockLeaders, seg, seg, op, dt, cfg))
+			}
+		}
+		if isNodeLeader {
+			if j := t - 2; j >= 0 && j < u {
+				s := segs[j]
+				seg := rbuf.Slice(s.Lo, s.Hi)
+				reqs = append(reqs, h.IR(p, leaders, seg, seg, op, dt, 0, cfg))
+			}
+			if j := t - 3; j >= 0 && j < u {
+				s := segs[j]
+				reqs = append(reqs, h.IB(p, leaders, rbuf.Slice(s.Lo, s.Hi), 0, cfg))
+			}
+		}
+		if isSockLeader {
+			if j := t - 4; j >= 0 && j < u {
+				s := segs[j]
+				reqs = append(reqs, h.NB(p, sockLeaders, rbuf.Slice(s.Lo, s.Hi), cfg))
+			}
+		}
+		if j := t - 5; j >= 0 && j < u {
+			s := segs[j]
+			reqs = append(reqs, h.SB(p, sock, rbuf.Slice(s.Lo, s.Hi), cfg))
+		}
+		p.Wait(reqs...)
+	}
+}

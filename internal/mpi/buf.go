@@ -1,0 +1,57 @@
+package mpi
+
+import "fmt"
+
+// Buf is a message buffer that may or may not carry real bytes.
+//
+// Correctness tests use real buffers so collectives can be verified
+// byte-for-byte. Large-scale benchmarks use phantom buffers (B == nil) that
+// carry only a size, because materialising 128 MB on each of 4096 simulated
+// ranks would need hundreds of gigabytes of host memory; the timing model is
+// identical either way.
+type Buf struct {
+	// B holds the payload, or nil for a phantom buffer.
+	B []byte
+	// N is the payload length in bytes. When B is non-nil, N == len(B).
+	N int
+}
+
+// Bytes wraps a real byte slice.
+func Bytes(b []byte) Buf { return Buf{B: b, N: len(b)} }
+
+// Phantom returns a size-only buffer of n bytes.
+func Phantom(n int) Buf {
+	if n < 0 {
+		panic(fmt.Sprintf("mpi: negative phantom size %d", n))
+	}
+	return Buf{N: n}
+}
+
+// Real reports whether the buffer carries actual bytes.
+func (b Buf) Real() bool { return b.B != nil }
+
+// Len returns the buffer length in bytes.
+func (b Buf) Len() int { return b.N }
+
+// Slice returns the sub-buffer [lo, hi). Phantom buffers slice by length
+// only.
+func (b Buf) Slice(lo, hi int) Buf {
+	if lo < 0 || hi < lo || hi > b.N {
+		panic(fmt.Sprintf("mpi: bad slice [%d:%d) of %d-byte buffer", lo, hi, b.N))
+	}
+	if b.Real() {
+		return Buf{B: b.B[lo:hi], N: hi - lo}
+	}
+	return Buf{N: hi - lo}
+}
+
+// CopyFrom copies src's payload into b when both are real; it is a no-op
+// when either side is phantom. Lengths must match.
+func (b Buf) CopyFrom(src Buf) {
+	if b.N != src.N {
+		panic(fmt.Sprintf("mpi: copy length mismatch %d != %d", b.N, src.N))
+	}
+	if b.Real() && src.Real() {
+		copy(b.B, src.B)
+	}
+}

@@ -1,0 +1,131 @@
+package mpi
+
+import "fmt"
+
+// Comm is a communicator: an ordered group of world ranks plus a matching
+// context that isolates its traffic from other communicators.
+type Comm struct {
+	w      *World
+	ctx    int
+	ranks  []int       // world ranks indexed by comm rank
+	rankOf map[int]int // world rank -> comm rank
+	seq    map[int]int // per world-rank collective sequence counter
+}
+
+// NextSeq returns the caller's next collective sequence number on this
+// communicator. Because MPI requires every rank to issue collectives on a
+// communicator in the same order, the per-rank counters agree and the
+// returned value can safely derive matching tags for one collective
+// instance.
+func (c *Comm) NextSeq(p *Proc) int {
+	if c.seq == nil {
+		c.seq = make(map[int]int)
+	}
+	s := c.seq[p.Rank]
+	c.seq[p.Rank] = s + 1
+	return s
+}
+
+// NewComm creates a communicator over the given world ranks (which become
+// comm ranks 0..len-1 in order).
+func (w *World) NewComm(worldRanks []int) *Comm {
+	c := &Comm{w: w, ctx: w.nextCtx, ranks: append([]int(nil), worldRanks...), rankOf: make(map[int]int, len(worldRanks))}
+	w.nextCtx++
+	for i, r := range worldRanks {
+		if _, dup := c.rankOf[r]; dup {
+			panic(fmt.Sprintf("mpi: duplicate world rank %d in communicator", r))
+		}
+		c.rankOf[r] = i
+	}
+	return c
+}
+
+// Ctx returns the communicator's matching-context id, unique per world.
+func (c *Comm) Ctx() int { return c.ctx }
+
+// Dup returns a communicator with the same group but a fresh matching
+// context, so concurrent collectives on the two communicators cannot match
+// each other's traffic.
+func (c *Comm) Dup() *Comm { return c.w.NewComm(c.ranks) }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// World returns the owning world.
+func (c *Comm) World() *World { return c.w }
+
+// WorldRank translates a comm rank to a world rank.
+func (c *Comm) WorldRank(r int) int { return c.ranks[r] }
+
+// Rank returns p's rank within this communicator, or -1 if p is not a
+// member.
+func (c *Comm) Rank(p *Proc) int {
+	if r, ok := c.rankOf[p.Rank]; ok {
+		return r
+	}
+	return -1
+}
+
+// RankOfWorld returns the comm rank holding the given world rank, or -1 if
+// it is not a member.
+func (c *Comm) RankOfWorld(worldRank int) int {
+	if r, ok := c.rankOf[worldRank]; ok {
+		return r
+	}
+	return -1
+}
+
+// Contains reports whether world rank r belongs to the communicator.
+func (c *Comm) Contains(worldRank int) bool {
+	_, ok := c.rankOf[worldRank]
+	return ok
+}
+
+// Sub returns a cached communicator over the given comm-rank subset. The
+// key must uniquely identify the subset; all members must request the same
+// key so they agree on the matching context.
+func (c *Comm) Sub(key string, commRanks []int) *Comm {
+	full := fmt.Sprintf("ctx%d:%s", c.ctx, key)
+	if cc, ok := c.w.cachedComms[full]; ok {
+		return cc
+	}
+	wr := make([]int, len(commRanks))
+	for i, r := range commRanks {
+		wr[i] = c.ranks[r]
+	}
+	cc := c.w.NewComm(wr)
+	c.w.cachedComms[full] = cc
+	return cc
+}
+
+// Barrier blocks until every rank of the communicator has entered it
+// (dissemination algorithm over point-to-point messages).
+func (c *Comm) Barrier(p *Proc) {
+	n := c.Size()
+	if n <= 1 {
+		return
+	}
+	me := c.Rank(p)
+	if me < 0 {
+		panic("mpi: Barrier by non-member rank")
+	}
+	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
+		to := (me + dist) % n
+		from := (me - dist + n) % n
+		tag := tagBarrier + round
+		sreq := c.Isend(p, Phantom(1), to, tag)
+		rreq := c.Irecv(p, Phantom(1), from, tag)
+		p.Wait(sreq, rreq)
+	}
+}
+
+// Reserved tag bases. User tags must stay below tagReserved.
+const (
+	tagReserved = 1 << 20
+	tagBarrier  = tagReserved
+	tagColl     = tagReserved + 64 // base for collective algorithms
+)
+
+// TagColl returns a reserved tag for collective traffic; callers pass a
+// small per-operation offset to keep concurrent collectives distinct.
+func TagColl(offset int) int { return tagColl + offset }

@@ -1,0 +1,206 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Datatype enumerates the element types supported by reductions.
+type Datatype int
+
+// Supported datatypes.
+const (
+	Byte Datatype = iota
+	Int32
+	Int64
+	Float32
+	Float64
+)
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int {
+	switch d {
+	case Byte:
+		return 1
+	case Int32, Float32:
+		return 4
+	case Int64, Float64:
+		return 8
+	}
+	panic(fmt.Sprintf("mpi: unknown datatype %d", d))
+}
+
+// String returns the datatype name.
+func (d Datatype) String() string {
+	switch d {
+	case Byte:
+		return "byte"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	}
+	return fmt.Sprintf("datatype(%d)", int(d))
+}
+
+// Op enumerates reduction operators. All are commutative and associative
+// (the HAN Allreduce design assumes a commutative operation).
+type Op int
+
+// Supported reduction operators.
+const (
+	OpSum Op = iota
+	OpProd
+	OpMax
+	OpMin
+)
+
+// String returns the operator name.
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpProd:
+		return "prod"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// ReduceBytes applies dst = dst (op) src elementwise over real byte slices.
+// Slice lengths must be equal and a multiple of the datatype size.
+func ReduceBytes(op Op, dt Datatype, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mpi: reduce length mismatch %d != %d", len(dst), len(src)))
+	}
+	sz := dt.Size()
+	if len(dst)%sz != 0 {
+		panic(fmt.Sprintf("mpi: reduce buffer %d bytes not a multiple of %s", len(dst), dt))
+	}
+	n := len(dst) / sz
+	switch dt {
+	case Byte:
+		for i := 0; i < n; i++ {
+			dst[i] = reduceU8(op, dst[i], src[i])
+		}
+	case Int32:
+		for i := 0; i < n; i++ {
+			a := int32(binary.LittleEndian.Uint32(dst[i*4:]))
+			b := int32(binary.LittleEndian.Uint32(src[i*4:]))
+			binary.LittleEndian.PutUint32(dst[i*4:], uint32(reduceI64(op, int64(a), int64(b))))
+		}
+	case Int64:
+		for i := 0; i < n; i++ {
+			a := int64(binary.LittleEndian.Uint64(dst[i*8:]))
+			b := int64(binary.LittleEndian.Uint64(src[i*8:]))
+			binary.LittleEndian.PutUint64(dst[i*8:], uint64(reduceI64(op, a, b)))
+		}
+	case Float32:
+		for i := 0; i < n; i++ {
+			a := math.Float32frombits(binary.LittleEndian.Uint32(dst[i*4:]))
+			b := math.Float32frombits(binary.LittleEndian.Uint32(src[i*4:]))
+			binary.LittleEndian.PutUint32(dst[i*4:], math.Float32bits(float32(reduceF64(op, float64(a), float64(b)))))
+		}
+	case Float64:
+		for i := 0; i < n; i++ {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i*8:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+			binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(reduceF64(op, a, b)))
+		}
+	}
+}
+
+func reduceU8(op Op, a, b byte) byte {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic("mpi: unknown op")
+}
+
+func reduceI64(op Op, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic("mpi: unknown op")
+}
+
+func reduceF64(op Op, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	}
+	panic("mpi: unknown op")
+}
+
+// ReduceBuf applies dst = dst (op) src when both buffers are real; for
+// phantom buffers only the (caller-modelled) time matters and data is
+// untouched.
+func ReduceBuf(op Op, dt Datatype, dst, src Buf) {
+	if dst.N != src.N {
+		panic(fmt.Sprintf("mpi: reduce length mismatch %d != %d", dst.N, src.N))
+	}
+	if dst.Real() && src.Real() {
+		ReduceBytes(op, dt, dst.B, src.B)
+	}
+}
+
+// EncodeFloat64s packs vals into a fresh byte slice (little endian).
+func EncodeFloat64s(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}
+
+// DecodeFloat64s unpacks a little-endian float64 slice.
+func DecodeFloat64s(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic(fmt.Sprintf("mpi: %d bytes is not a float64 array", len(b)))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}

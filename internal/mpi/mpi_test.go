@@ -1,0 +1,415 @@
+package mpi
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+func testSpec() cluster.Spec { return cluster.Mini(2, 2) }
+
+func TestPingPongDeliversBytes(t *testing.T) {
+	var got []byte
+	_, err := Run(testSpec(), OpenMPI(), func(p *Proc) {
+		c := p.W.World()
+		switch c.Rank(p) {
+		case 0:
+			c.Send(p, Bytes([]byte("hello han")), 3, 7)
+		case 3:
+			buf := make([]byte, 9)
+			c.Recv(p, Bytes(buf), 0, 7)
+			got = buf
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello han" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnexpectedMessageIsBuffered(t *testing.T) {
+	var got []byte
+	_, err := Run(testSpec(), OpenMPI(), func(p *Proc) {
+		c := p.W.World()
+		switch c.Rank(p) {
+		case 0:
+			c.Send(p, Bytes([]byte{42}), 1, 5)
+		case 1:
+			p.Sim.Sleep(0.01) // let the message arrive unexpected
+			buf := make([]byte, 1)
+			c.Recv(p, Bytes(buf), 0, 5)
+			got = buf
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTagMatchingSelectsCorrectMessage(t *testing.T) {
+	var first, second byte
+	_, err := Run(testSpec(), OpenMPI(), func(p *Proc) {
+		c := p.W.World()
+		switch c.Rank(p) {
+		case 0:
+			c.Send(p, Bytes([]byte{1}), 1, 100)
+			c.Send(p, Bytes([]byte{2}), 1, 200)
+		case 1:
+			b1, b2 := make([]byte, 1), make([]byte, 1)
+			// Receive in reverse tag order.
+			c.Recv(p, Bytes(b2), 0, 200)
+			c.Recv(p, Bytes(b1), 0, 100)
+			first, second = b1[0], b2[0]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || second != 2 {
+		t.Fatalf("tag matching wrong: got %d,%d", first, second)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	var got byte
+	_, err := Run(testSpec(), OpenMPI(), func(p *Proc) {
+		c := p.W.World()
+		switch c.Rank(p) {
+		case 2:
+			c.Send(p, Bytes([]byte{9}), 1, 77)
+		case 1:
+			b := make([]byte, 1)
+			c.Recv(p, Bytes(b), AnySource, AnyTag)
+			got = b[0]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestRendezvousLargerThanEager(t *testing.T) {
+	pers := OpenMPI()
+	n := pers.EagerThreshold * 4
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	var got []byte
+	_, err := Run(testSpec(), pers, func(p *Proc) {
+		c := p.W.World()
+		switch c.Rank(p) {
+		case 0:
+			c.Send(p, Bytes(payload), 2, 1)
+		case 2:
+			buf := make([]byte, n)
+			c.Recv(p, Bytes(buf), 0, 1)
+			got = buf
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("rendezvous payload corrupted")
+	}
+}
+
+func TestInterNodeSlowerThanIntraNode(t *testing.T) {
+	timeFor := func(src, dst int) sim.Time {
+		var dur sim.Time
+		_, err := Run(testSpec(), OpenMPI(), func(p *Proc) {
+			c := p.W.World()
+			me := c.Rank(p)
+			if me == src {
+				c.Send(p, Phantom(1<<20), dst, 0)
+			}
+			if me == dst {
+				start := p.Now()
+				c.Recv(p, Phantom(1<<20), src, 0)
+				dur = p.Now() - start
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dur
+	}
+	intra := timeFor(0, 1) // same node (ppn=2)
+	inter := timeFor(0, 2) // different nodes
+	if intra <= 0 || inter <= 0 {
+		t.Fatalf("non-positive durations intra=%v inter=%v", intra, inter)
+	}
+	if inter <= intra {
+		t.Fatalf("inter-node (%v) should be slower than intra-node (%v)", inter, intra)
+	}
+}
+
+func TestSenderBufferReusableAfterRequestCompletes(t *testing.T) {
+	var got byte
+	_, err := Run(testSpec(), OpenMPI(), func(p *Proc) {
+		c := p.W.World()
+		switch c.Rank(p) {
+		case 0:
+			buf := []byte{7}
+			req := c.Isend(p, Bytes(buf), 1, 0)
+			p.Wait(req)
+			buf[0] = 99 // must not corrupt the in-flight/received copy
+		case 1:
+			p.Sim.Sleep(0.1)
+			b := make([]byte, 1)
+			c.Recv(p, Bytes(b), 0, 0)
+			got = b[0]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("receiver saw %d, want 7 (send buffer aliasing bug)", got)
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	spec := cluster.Mini(2, 3)
+	var minExit sim.Time = math.MaxFloat64
+	var maxEnter sim.Time
+	_, err := Run(spec, OpenMPI(), func(p *Proc) {
+		c := p.W.World()
+		// Rank i enters at time i*0.001.
+		p.Sim.Sleep(sim.Time(c.Rank(p)) * 0.001)
+		enter := p.Now()
+		if enter > maxEnter {
+			maxEnter = enter
+		}
+		c.Barrier(p)
+		if p.Now() < minExit {
+			minExit = p.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minExit < maxEnter {
+		t.Fatalf("a rank left the barrier at %v before the last rank entered at %v", minExit, maxEnter)
+	}
+}
+
+func TestCommSubIsolation(t *testing.T) {
+	// Traffic on a sub-communicator must not match a world-comm receive.
+	spec := cluster.Mini(1, 4)
+	var got byte
+	_, err := Run(spec, OpenMPI(), func(p *Proc) {
+		w := p.W
+		c := w.World()
+		sub := c.Sub("evens", []int{0, 2})
+		switch c.Rank(p) {
+		case 0:
+			sub.Send(p, Bytes([]byte{1}), 1, 0) // to world rank 2, on sub
+			c.Send(p, Bytes([]byte{2}), 2, 0)   // to world rank 2, on world
+		case 2:
+			b := make([]byte, 1)
+			c.Recv(p, Bytes(b), 0, 0) // must get the world-comm message
+			got = b[0]
+			b2 := make([]byte, 1)
+			sub.Recv(p, Bytes(b2), 0, 0)
+			if b2[0] != 1 {
+				t.Errorf("sub comm got %d, want 1", b2[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("world comm got %d, want 2 (context leakage)", got)
+	}
+}
+
+func TestNodeAndLeaderComms(t *testing.T) {
+	spec := cluster.Mini(3, 4)
+	_, err := Run(spec, OpenMPI(), func(p *Proc) {
+		w := p.W
+		nc := w.NodeComm(p.Node())
+		if nc.Size() != 4 {
+			t.Errorf("node comm size %d, want 4", nc.Size())
+		}
+		if nc.Rank(p) != p.Rank%4 {
+			t.Errorf("node comm rank %d for world rank %d", nc.Rank(p), p.Rank)
+		}
+		lc := w.LeaderComm()
+		if lc.Size() != 3 {
+			t.Errorf("leader comm size %d, want 3", lc.Size())
+		}
+		if w.Mach.IsNodeLeader(p.Rank) != (lc.Rank(p) >= 0) {
+			t.Errorf("leader membership wrong for rank %d", p.Rank)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageCostScalesWithSize(t *testing.T) {
+	timeFor := func(n int) sim.Time {
+		var dur sim.Time
+		_, err := Run(testSpec(), OpenMPI(), func(p *Proc) {
+			c := p.W.World()
+			switch c.Rank(p) {
+			case 0:
+				c.Send(p, Phantom(n), 2, 0)
+			case 2:
+				start := p.Now()
+				c.Recv(p, Phantom(n), 0, 0)
+				dur = p.Now() - start
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dur
+	}
+	small, big := timeFor(1<<10), timeFor(1<<24)
+	if big < small*100 {
+		t.Fatalf("16MB (%v) should dwarf 1KB (%v)", big, small)
+	}
+	// Sanity: 16 MB at ~1 GB/s NIC should take at least ~16 ms.
+	if big < 0.016 {
+		t.Fatalf("16MB took %v, below the physical bandwidth floor", big)
+	}
+}
+
+func TestReduceBytesAllOpsAllTypes(t *testing.T) {
+	cases := []struct {
+		op   Op
+		dt   Datatype
+		a, b []byte
+		want []byte
+	}{
+		{OpSum, Byte, []byte{1, 2}, []byte{3, 4}, []byte{4, 6}},
+		{OpProd, Byte, []byte{2, 3}, []byte{4, 5}, []byte{8, 15}},
+		{OpMax, Byte, []byte{1, 9}, []byte{5, 2}, []byte{5, 9}},
+		{OpMin, Byte, []byte{1, 9}, []byte{5, 2}, []byte{1, 2}},
+	}
+	for _, tc := range cases {
+		dst := append([]byte(nil), tc.a...)
+		ReduceBytes(tc.op, tc.dt, dst, tc.b)
+		if !bytes.Equal(dst, tc.want) {
+			t.Errorf("%v/%v: got %v want %v", tc.op, tc.dt, dst, tc.want)
+		}
+	}
+	// Float64 path
+	a := EncodeFloat64s([]float64{1.5, -2})
+	b := EncodeFloat64s([]float64{2.5, 10})
+	ReduceBytes(OpSum, Float64, a, b)
+	got := DecodeFloat64s(a)
+	if got[0] != 4.0 || got[1] != 8.0 {
+		t.Errorf("float64 sum: got %v", got)
+	}
+	// Int32 path
+	ai := []byte{1, 0, 0, 0}
+	bi := []byte{255, 255, 255, 255} // -1
+	ReduceBytes(OpSum, Int32, ai, bi)
+	if ai[0] != 0 || ai[1] != 0 || ai[2] != 0 || ai[3] != 0 {
+		t.Errorf("int32 1 + (-1) != 0: %v", ai)
+	}
+}
+
+// Property: sum-reduction over float64 buffers is commutative.
+func TestQuickReduceCommutative(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		if len(xs) > len(ys) {
+			xs = xs[:len(ys)]
+		} else {
+			ys = ys[:len(xs)]
+		}
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) {
+				return true
+			}
+		}
+		a1 := EncodeFloat64s(xs)
+		ReduceBytes(OpSum, Float64, a1, EncodeFloat64s(ys))
+		a2 := EncodeFloat64s(ys)
+		ReduceBytes(OpSum, Float64, a2, EncodeFloat64s(xs))
+		return bytes.Equal(a1, a2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any random pattern of sends is eventually received with the
+// right contents (matching engine soundness).
+func TestQuickRandomTraffic(t *testing.T) {
+	f := func(seed uint16) bool {
+		spec := cluster.Mini(2, 2)
+		n := spec.Ranks()
+		// Each rank sends one byte to every other rank; everyone receives
+		// from everyone; contents must be (src*16+dst)&0xff.
+		ok := true
+		_, err := Run(spec, OpenMPI(), func(p *Proc) {
+			c := p.W.World()
+			me := c.Rank(p)
+			var reqs []*Request
+			for dst := 0; dst < n; dst++ {
+				if dst == me {
+					continue
+				}
+				v := byte((me*16 + dst + int(seed)) & 0xff)
+				reqs = append(reqs, c.Isend(p, Bytes([]byte{v}), dst, 3))
+			}
+			bufs := make([][]byte, n)
+			for src := 0; src < n; src++ {
+				if src == me {
+					continue
+				}
+				bufs[src] = make([]byte, 1)
+				reqs = append(reqs, c.Irecv(p, Bytes(bufs[src]), src, 3))
+			}
+			p.Wait(reqs...)
+			for src := 0; src < n; src++ {
+				if src == me {
+					continue
+				}
+				if bufs[src][0] != byte((src*16+me+int(seed))&0xff) {
+					ok = false
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufSliceAndPhantom(t *testing.T) {
+	b := Bytes([]byte{0, 1, 2, 3, 4})
+	s := b.Slice(1, 3)
+	if s.N != 2 || s.B[0] != 1 {
+		t.Fatalf("slice wrong: %+v", s)
+	}
+	ph := Phantom(10).Slice(2, 7)
+	if ph.N != 5 || ph.Real() {
+		t.Fatalf("phantom slice wrong: %+v", ph)
+	}
+	// Copy into phantom is a timing-only no-op.
+	ph.CopyFrom(Phantom(5))
+	s.CopyFrom(Bytes([]byte{8, 9}))
+	if b.B[1] != 8 || b.B[2] != 9 {
+		t.Fatal("CopyFrom through slice did not write through")
+	}
+}

@@ -1,0 +1,254 @@
+package mpi
+
+import (
+	"fmt"
+
+	"github.com/hanrepro/han/internal/sim"
+	"github.com/hanrepro/han/internal/trace"
+)
+
+// Wildcards for Irecv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+type epKey struct {
+	ctx int
+	dst int // world rank of the receiver
+}
+
+// pairKey identifies a directed (sender, receiver) world-rank pair whose
+// data flows are serialised FIFO.
+type pairKey struct {
+	src, dst int
+}
+
+// message is an in-flight send as seen by the receiver's matching engine.
+type message struct {
+	src  int // comm rank of the sender
+	tag  int
+	size int
+	data Buf
+
+	eager       bool
+	dataArrived *sim.Signal // payload fully at the receiver
+	onMatch     func()      // rendezvous only: start the clear-to-send
+}
+
+// recvReq is a posted receive awaiting a matching message.
+type recvReq struct {
+	src, tag int
+	buf      Buf
+	req      *Request
+	comm     *Comm
+	dstWorld int
+}
+
+type endpoint struct {
+	posted     []*recvReq
+	unexpected []*message
+}
+
+func (w *World) endpoint(ctx, dstWorld int) *endpoint {
+	k := epKey{ctx, dstWorld}
+	ep := w.eps[k]
+	if ep == nil {
+		ep = &endpoint{}
+		w.eps[k] = ep
+	}
+	return ep
+}
+
+func matches(r *recvReq, m *message) bool {
+	return (r.src == AnySource || r.src == m.src) && (r.tag == AnyTag || r.tag == m.tag)
+}
+
+// Isend starts a non-blocking send of buf to comm rank dst with the given
+// tag. The returned request completes when the sender's buffer may be
+// reused (eager: payload drained into the network; rendezvous: transfer
+// finished).
+func (c *Comm) Isend(p *Proc, buf Buf, dst, tag int) *Request {
+	w := c.w
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpi: Isend to rank %d of %d", dst, c.Size()))
+	}
+	me := c.Rank(p)
+	if me < 0 {
+		panic("mpi: Isend by non-member rank")
+	}
+	req := NewRequest()
+	srcW, dstW := p.Rank, c.ranks[dst]
+	eng := w.Eng()
+
+	// Snapshot real payloads so the sender may reuse its buffer as soon as
+	// the request completes, regardless of when the receiver copies.
+	data := buf
+	if buf.Real() {
+		cp := make([]byte, buf.N)
+		copy(cp, buf.B)
+		data = Bytes(cp)
+	}
+
+	msg := &message{
+		src:         me,
+		tag:         tag,
+		size:        buf.Len(),
+		data:        data,
+		eager:       buf.Len() <= w.Pers.EagerThreshold,
+		dataArrived: sim.NewSignal(),
+	}
+	w.Tracer.Record(trace.Event{
+		T: float64(p.Now()), Rank: srcW, Kind: trace.KindSend,
+		Name: "send", Size: buf.Len(), Peer: dstW,
+	})
+
+	// Data flows between one (src, dst) pair are serialised FIFO, as on a
+	// real per-peer connection: message k's payload enters the wire only
+	// after message k-1's has drained. Without this, concurrent pipelined
+	// segments would fair-share the link and all complete simultaneously,
+	// which no MPI transport does.
+	startData := func(done func()) {
+		eff := w.Pers.Eff(max(msg.size, 1))
+		bytes := float64(msg.size) / eff
+		key := pairKey{srcW, dstW}
+		prev := w.pairTail[key]
+		mine := sim.NewSignal()
+		w.pairTail[key] = mine
+		run := func() {
+			f := w.Mach.Net.Start(bytes, w.dataPath(srcW, dstW)...)
+			f.Done().OnFire(func() {
+				mine.Fire(eng)
+				done()
+			})
+		}
+		if prev == nil {
+			run()
+		} else {
+			prev.OnFire(run)
+		}
+	}
+
+	// Per-message send-side progression work, then envelope latency, then
+	// protocol-specific data movement.
+	ready := sim.NewSignal()
+	ov := w.Mach.CPUWork(srcW, w.Pers.SendOverhead)
+	ov.Done().OnFire(func() {
+		eng.After(sim.Time(w.latency(srcW, dstW)), func() { ready.Fire(eng) })
+	})
+
+	// Envelopes between one (src, dst) pair are delivered in issue order —
+	// MPI's non-overtaking guarantee. Without this, concurrent send
+	// overhead flows of back-to-back Isends complete together and could
+	// hand envelopes to the matching engine out of program order.
+	key := pairKey{srcW, dstW}
+	prevEnv := w.envTail[key]
+	mine := sim.NewSignal()
+	w.envTail[key] = mine
+	gate := sim.NewCounter(eng, 2)
+	ready.OnFire(gate.Done)
+	if prevEnv == nil {
+		gate.Done()
+	} else {
+		prevEnv.OnFire(gate.Done)
+	}
+	gate.Signal().OnFire(func() {
+		if msg.eager {
+			startData(func() {
+				msg.dataArrived.Fire(eng)
+				req.Complete(eng)
+			})
+		} else {
+			msg.onMatch = func() {
+				// Clear-to-send travels back, then the payload moves.
+				eng.After(sim.Time(w.latency(dstW, srcW)), func() {
+					startData(func() {
+						msg.dataArrived.Fire(eng)
+						req.Complete(eng)
+					})
+				})
+			}
+		}
+		w.deliver(c.ctx, dstW, msg)
+		mine.Fire(eng)
+	})
+	return req
+}
+
+// Irecv posts a non-blocking receive into buf from comm rank src (or
+// AnySource) with the given tag (or AnyTag). The request completes once a
+// matching payload has fully arrived and been copied into buf.
+func (c *Comm) Irecv(p *Proc, buf Buf, src, tag int) *Request {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		panic(fmt.Sprintf("mpi: Irecv from rank %d of %d", src, c.Size()))
+	}
+	if c.Rank(p) < 0 {
+		panic("mpi: Irecv by non-member rank")
+	}
+	w := c.w
+	r := &recvReq{src: src, tag: tag, buf: buf, req: NewRequest(), comm: c, dstWorld: p.Rank}
+	ep := w.endpoint(c.ctx, p.Rank)
+	for i, m := range ep.unexpected {
+		if matches(r, m) {
+			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			w.match(r, m)
+			return r.req
+		}
+	}
+	ep.posted = append(ep.posted, r)
+	return r.req
+}
+
+// deliver hands an arrived envelope to the receiver's matching engine.
+func (w *World) deliver(ctx, dstWorld int, m *message) {
+	ep := w.endpoint(ctx, dstWorld)
+	for i, r := range ep.posted {
+		if matches(r, m) {
+			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
+			w.match(r, m)
+			return
+		}
+	}
+	ep.unexpected = append(ep.unexpected, m)
+}
+
+// match binds a posted receive to a message and finishes the receive once
+// the payload has arrived and the receive-side progression work is done.
+func (w *World) match(r *recvReq, m *message) {
+	if m.size > r.buf.N {
+		panic(fmt.Sprintf("mpi: message of %d bytes overflows %d-byte receive buffer (src=%d tag=%d)", m.size, r.buf.N, m.src, m.tag))
+	}
+	if !m.eager && m.onMatch != nil {
+		m.onMatch()
+	}
+	eng := w.Eng()
+	m.dataArrived.OnFire(func() {
+		ov := w.Mach.CPUWork(r.dstWorld, w.Pers.RecvOverhead)
+		ov.Done().OnFire(func() {
+			r.buf.Slice(0, m.size).CopyFrom(m.data)
+			w.Tracer.Record(trace.Event{
+				T: float64(eng.Now()), Rank: r.dstWorld, Kind: trace.KindDeliver,
+				Name: "deliver", Size: m.size, Peer: r.comm.ranks[m.src],
+			})
+			r.req.Complete(eng)
+		})
+	})
+}
+
+// Send is the blocking form of Isend.
+func (c *Comm) Send(p *Proc, buf Buf, dst, tag int) {
+	p.Wait(c.Isend(p, buf, dst, tag))
+}
+
+// Recv is the blocking form of Irecv.
+func (c *Comm) Recv(p *Proc, buf Buf, src, tag int) {
+	p.Wait(c.Irecv(p, buf, src, tag))
+}
+
+// SendRecv exchanges messages with possibly different peers, progressing
+// both directions concurrently.
+func (c *Comm) SendRecv(p *Proc, sbuf Buf, dst, stag int, rbuf Buf, src, rtag int) {
+	sreq := c.Isend(p, sbuf, dst, stag)
+	rreq := c.Irecv(p, rbuf, src, rtag)
+	p.Wait(sreq, rreq)
+}

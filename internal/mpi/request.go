@@ -1,0 +1,32 @@
+package mpi
+
+import "github.com/hanrepro/han/internal/sim"
+
+// Request is the handle of a non-blocking operation (point-to-point or
+// collective). It completes exactly once.
+type Request struct {
+	done *sim.Signal
+}
+
+// NewRequest returns an incomplete request. Collective modules use this to
+// hand out completion handles for operations they progress internally.
+func NewRequest() *Request { return &Request{done: sim.NewSignal()} }
+
+// Done returns the signal fired at completion.
+func (r *Request) Done() *sim.Signal { return r.done }
+
+// Test reports whether the request has completed (MPI_Test semantics,
+// without the progress side effects — the simulation progresses requests
+// autonomously).
+func (r *Request) Test() bool { return r.done.Fired() }
+
+// Complete marks the request complete at the current virtual time.
+func (r *Request) Complete(e *sim.Engine) { r.done.Fire(e) }
+
+// CompletedRequest returns an already-complete request, useful for
+// zero-work fast paths (empty buffers, single-rank communicators).
+func CompletedRequest(e *sim.Engine) *Request {
+	r := NewRequest()
+	r.done.Fire(e)
+	return r
+}

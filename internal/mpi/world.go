@@ -1,0 +1,241 @@
+// Package mpi implements a message-passing runtime on the simulated
+// cluster: communicators, tag-matched point-to-point messaging with eager
+// and rendezvous protocols, non-blocking requests, and reduction operators.
+//
+// It is the substrate every collective module in this repository is built
+// on, playing the role Open MPI's PML/BTL layers play for the real HAN
+// component. Each MPI rank executes as a simulated process; transfers charge
+// the hardware resources of cluster.Machine, so contention, congestion, and
+// imperfect overlap emerge from the model rather than from assumptions.
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/flow"
+	"github.com/hanrepro/han/internal/sim"
+	"github.com/hanrepro/han/internal/trace"
+)
+
+// World is one MPI job: a machine, a P2P personality, and the matching
+// state shared by all communicators.
+type World struct {
+	Mach *cluster.Machine
+	Pers *Personality
+	// Tracer, when non-nil, records message and collective timelines
+	// (package trace). A nil tracer costs nothing.
+	Tracer *trace.Recorder
+
+	nextCtx  int
+	eps      map[epKey]*endpoint
+	pairTail map[pairKey]*sim.Signal
+	envTail  map[pairKey]*sim.Signal
+	rng      *rand.Rand
+
+	world       *Comm
+	nodeComms   []*Comm
+	leaderComm  *Comm
+	cachedComms map[string]*Comm
+}
+
+// NewWorld creates a world for the given machine and library personality.
+func NewWorld(m *cluster.Machine, pers *Personality) *World {
+	w := &World{
+		Mach:        m,
+		Pers:        pers,
+		eps:         make(map[epKey]*endpoint),
+		pairTail:    make(map[pairKey]*sim.Signal),
+		envTail:     make(map[pairKey]*sim.Signal),
+		cachedComms: make(map[string]*Comm),
+		rng:         rand.New(rand.NewSource(1)),
+	}
+	all := make([]int, m.Spec.Ranks())
+	for i := range all {
+		all[i] = i
+	}
+	w.world = w.NewComm(all)
+	return w
+}
+
+// Eng returns the simulation engine.
+func (w *World) Eng() *sim.Engine { return w.Mach.Eng }
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.Mach.Spec.Ranks() }
+
+// World returns the communicator containing every rank.
+func (w *World) World() *Comm { return w.world }
+
+// NodeComm returns the intra-node communicator of the given node (what
+// MPI_Comm_split_type(MPI_COMM_TYPE_SHARED) produces).
+func (w *World) NodeComm(node int) *Comm {
+	if w.nodeComms == nil {
+		w.nodeComms = make([]*Comm, w.Mach.Spec.Nodes)
+		for n := 0; n < w.Mach.Spec.Nodes; n++ {
+			ranks := make([]int, w.Mach.Spec.PPN)
+			for i := range ranks {
+				ranks[i] = n*w.Mach.Spec.PPN + i
+			}
+			w.nodeComms[n] = w.NewComm(ranks)
+		}
+	}
+	return w.nodeComms[node]
+}
+
+// LeaderComm returns the inter-node communicator of node leaders (local
+// rank 0 on each node).
+func (w *World) LeaderComm() *Comm {
+	if w.leaderComm == nil {
+		ranks := make([]int, w.Mach.Spec.Nodes)
+		for n := range ranks {
+			ranks[n] = n * w.Mach.Spec.PPN
+		}
+		w.leaderComm = w.NewComm(ranks)
+	}
+	return w.leaderComm
+}
+
+// SocketComm returns the communicator of the ranks sharing one socket of
+// one node (the innermost level of a three-level hierarchy). On
+// single-socket machines it equals the node communicator.
+func (w *World) SocketComm(node, socket int) *Comm {
+	spec := w.Mach.Spec
+	if !spec.MultiSocket() {
+		return w.NodeComm(node)
+	}
+	key := fmt.Sprintf("socket:%d.%d", node, socket)
+	if c, ok := w.cachedComms[key]; ok {
+		return c
+	}
+	per := spec.RanksPerSocket()
+	lo := node*spec.PPN + socket*per
+	hi := lo + per
+	if max := (node + 1) * spec.PPN; hi > max {
+		hi = max
+	}
+	ranks := make([]int, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		ranks = append(ranks, r)
+	}
+	c := w.NewComm(ranks)
+	w.cachedComms[key] = c
+	return c
+}
+
+// SocketLeaderComm returns the communicator of a node's socket leaders (the
+// middle level of a three-level hierarchy). Its rank 0 is the node leader.
+func (w *World) SocketLeaderComm(node int) *Comm {
+	spec := w.Mach.Spec
+	if !spec.MultiSocket() {
+		return w.NodeComm(node)
+	}
+	key := fmt.Sprintf("socketleaders:%d", node)
+	if c, ok := w.cachedComms[key]; ok {
+		return c
+	}
+	per := spec.RanksPerSocket()
+	var ranks []int
+	for s := 0; s < spec.SocketsPerNode; s++ {
+		r := node*spec.PPN + s*per
+		if r < (node+1)*spec.PPN {
+			ranks = append(ranks, r)
+		}
+	}
+	c := w.NewComm(ranks)
+	w.cachedComms[key] = c
+	return c
+}
+
+// Proc is a rank's execution context: a simulated process bound to a world
+// rank. Several Procs may act for the same rank at once (the main process
+// plus helper processes progressing non-blocking collectives); they share
+// the rank's CPU progress resource.
+type Proc struct {
+	Sim  *sim.Proc
+	W    *World
+	Rank int // world rank
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() sim.Time { return p.Sim.Now() }
+
+// Node returns the node hosting this rank.
+func (p *Proc) Node() int { return p.W.Mach.NodeOf(p.Rank) }
+
+// Wait blocks until all given requests complete. Nil requests are skipped.
+func (p *Proc) Wait(reqs ...*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			p.Sim.Wait(r.done)
+		}
+	}
+}
+
+// SpawnHelper starts a helper process acting for the same rank (e.g. the
+// progress engine of a non-blocking collective). The helper shares the
+// rank's CPU resource with every other process of the rank.
+func (p *Proc) SpawnHelper(name string, fn func(*Proc)) {
+	w, rank := p.W, p.Rank
+	p.Sim.Engine().Spawn(fmt.Sprintf("rank%d.%s", rank, name), func(sp *sim.Proc) {
+		fn(&Proc{Sim: sp, W: w, Rank: rank})
+	})
+}
+
+// Start spawns one simulated process per rank, each executing fn. The
+// caller still owns the engine and must call Eng().Run().
+func (w *World) Start(fn func(*Proc)) {
+	for r := 0; r < w.Size(); r++ {
+		r := r
+		w.Eng().Spawn(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
+			fn(&Proc{Sim: sp, W: w, Rank: r})
+		})
+	}
+}
+
+// Run builds a fresh engine+machine+world for spec and pers, runs fn on
+// every rank, and returns the virtual time at which the last process
+// finished.
+func Run(spec cluster.Spec, pers *Personality, fn func(*Proc)) (sim.Time, error) {
+	eng := sim.New()
+	w := NewWorld(cluster.NewMachine(eng, spec), pers)
+	w.Start(fn)
+	if err := eng.Run(); err != nil {
+		return eng.Now(), err
+	}
+	return eng.Now(), nil
+}
+
+// dataPath returns the resources an s->d payload crosses.
+func (w *World) dataPath(srcWorld, dstWorld int) []*flow.Resource {
+	m := w.Mach
+	sn, dn := m.NodeOf(srcWorld), m.NodeOf(dstWorld)
+	if sn == dn {
+		return m.IntraPath(srcWorld, dstWorld)
+	}
+	// Inter-node data is injected at the source NIC, drained at the
+	// destination NIC, and DMA-written through the destination memory bus —
+	// the bus sharing is what makes ib/sb overlap imperfect (paper
+	// section III-A2).
+	return []*flow.Resource{m.NICOut(sn), m.NICIn(dn), m.InboundBus(dstWorld)}
+}
+
+// Seed reseeds the world's noise generator (only meaningful with a
+// personality that sets Jitter).
+func (w *World) Seed(seed int64) { w.rng = rand.New(rand.NewSource(seed)) }
+
+// latency returns the one-way envelope latency between two ranks, hardware
+// plus library software latency, with optional jitter noise.
+func (w *World) latency(srcWorld, dstWorld int) float64 {
+	m := w.Mach
+	lat := m.Spec.InterLatency
+	if m.NodeOf(srcWorld) == m.NodeOf(dstWorld) {
+		lat = m.Spec.IntraLatency
+	}
+	lat += w.Pers.SoftLatency
+	if j := w.Pers.Jitter; j > 0 {
+		lat *= 1 + j*w.rng.Float64()
+	}
+	return lat
+}

@@ -1,0 +1,153 @@
+package rivals
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+func allLibs() []Lib { return []Lib{OpenMPIDefault, CrayMPI, IntelMPI, MVAPICH2} }
+
+func TestPersonalitiesDistinctAndValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, l := range allLibs() {
+		p := l.Personality()
+		if seen[p.Name] {
+			t.Errorf("duplicate personality name %s", p.Name)
+		}
+		seen[p.Name] = true
+		for _, n := range []int{1, 1 << 10, 64 << 10, 1 << 20, 128 << 20} {
+			e := p.Eff(n)
+			if e <= 0 || e > 1 {
+				t.Errorf("%s: Eff(%d) = %v out of range", p.Name, n, e)
+			}
+		}
+	}
+}
+
+// Fig 11's key shape: Cray MPI achieves clearly better efficiency than Open
+// MPI in the 16KB..512KB band, and both converge at multi-MB sizes.
+func TestCrayBeatsOpenMPIMidSizes(t *testing.T) {
+	cray, ompi := CrayMPI.Personality(), OpenMPIDefault.Personality()
+	for _, n := range []int{16 << 10, 64 << 10, 256 << 10} {
+		if cray.Eff(n) <= ompi.Eff(n)*1.2 {
+			t.Errorf("at %d: cray %.2f should clearly beat ompi %.2f", n, cray.Eff(n), ompi.Eff(n))
+		}
+	}
+	big := 64 << 20
+	if d := cray.Eff(big) - ompi.Eff(big); d > 0.05 || d < -0.05 {
+		t.Errorf("peaks should converge: cray %.2f vs ompi %.2f", cray.Eff(big), ompi.Eff(big))
+	}
+}
+
+func runLib(t *testing.T, l Lib, spec cluster.Spec, fn func(rt *Runtime, p *mpi.Proc)) {
+	t.Helper()
+	eng := sim.New()
+	w := mpi.NewWorld(cluster.NewMachine(eng, spec), l.Personality())
+	rt := NewRuntime(l, w)
+	w.Start(func(p *mpi.Proc) { fn(rt, p) })
+	if err := eng.Run(); err != nil {
+		t.Fatalf("%v: %v", l, err)
+	}
+}
+
+func TestAllRivalsBcastDeliver(t *testing.T) {
+	spec := cluster.Mini(3, 4)
+	for _, l := range allLibs() {
+		for _, root := range []int{0, 5} {
+			for _, n := range []int{64, 100 << 10} {
+				t.Run(fmt.Sprintf("%v/root%d/n%d", l, root, n), func(t *testing.T) {
+					want := make([]byte, n)
+					for i := range want {
+						want[i] = byte(i * 3)
+					}
+					runLib(t, l, spec, func(rt *Runtime, p *mpi.Proc) {
+						buf := make([]byte, n)
+						if p.Rank == root {
+							copy(buf, want)
+						}
+						rt.Bcast(p, mpi.Bytes(buf), root)
+						if !bytes.Equal(buf, want) {
+							t.Errorf("rank %d: wrong payload", p.Rank)
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
+func TestAllRivalsAllreduceCorrect(t *testing.T) {
+	spec := cluster.Mini(2, 3)
+	ranks := spec.Ranks()
+	for _, l := range allLibs() {
+		t.Run(l.String(), func(t *testing.T) {
+			runLib(t, l, spec, func(rt *Runtime, p *mpi.Proc) {
+				elems := 40
+				vals := make([]float64, elems)
+				for i := range vals {
+					vals[i] = float64(p.Rank + 2*i)
+				}
+				sbuf := mpi.Bytes(mpi.EncodeFloat64s(vals))
+				rbuf := mpi.Bytes(make([]byte, sbuf.N))
+				rt.Allreduce(p, sbuf, rbuf, mpi.OpSum, mpi.Float64)
+				got := mpi.DecodeFloat64s(rbuf.B)
+				for i := range got {
+					want := float64(ranks*(ranks-1))/2 + float64(2*i*ranks)
+					if got[i] != want {
+						t.Errorf("rank %d elem %d: got %v want %v", p.Rank, i, got[i], want)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestRivalsSingleNode(t *testing.T) {
+	spec := cluster.Mini(1, 4)
+	for _, l := range allLibs() {
+		t.Run(l.String(), func(t *testing.T) {
+			runLib(t, l, spec, func(rt *Runtime, p *mpi.Proc) {
+				buf := make([]byte, 128)
+				if p.Rank == 0 {
+					for i := range buf {
+						buf[i] = byte(i)
+					}
+				}
+				rt.Bcast(p, mpi.Bytes(buf), 0)
+				if buf[100] != 100 {
+					t.Errorf("rank %d: single-node bcast wrong", p.Rank)
+				}
+			})
+		})
+	}
+}
+
+func TestAllRivalsReduceCorrect(t *testing.T) {
+	spec := cluster.Mini(2, 3)
+	ranks := spec.Ranks()
+	for _, l := range allLibs() {
+		for _, root := range []int{0, 4} {
+			t.Run(fmt.Sprintf("%v/root%d", l, root), func(t *testing.T) {
+				runLib(t, l, spec, func(rt *Runtime, p *mpi.Proc) {
+					vals := []float64{float64(p.Rank), 7}
+					sbuf := mpi.Bytes(mpi.EncodeFloat64s(vals))
+					rbuf := mpi.Bytes(make([]byte, sbuf.N))
+					rt.Reduce(p, sbuf, rbuf, mpi.OpSum, mpi.Float64, root)
+					if p.Rank == root {
+						got := mpi.DecodeFloat64s(rbuf.B)
+						want0 := float64(ranks*(ranks-1)) / 2
+						if got[0] != want0 || got[1] != 7*float64(ranks) {
+							t.Errorf("got %v, want [%v %v]", got, want0, 7*float64(ranks))
+						}
+					}
+				})
+			})
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Package sim implements a deterministic process-oriented discrete-event
+// simulation engine.
+//
+// The engine owns a virtual clock and an event queue ordered by (time,
+// sequence number), so two runs of the same program observe identical event
+// orderings. Simulated processes are goroutines that cooperate with the
+// engine through a strict baton-passing protocol: at any instant at most one
+// goroutine (either the engine or a single process) is running, which means
+// all engine and process state can be mutated without locks.
+//
+// Processes block with Proc.Sleep and Proc.Wait; other code wakes them by
+// firing Signals or scheduling callbacks with Engine.At / Engine.After.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, in seconds since the start of the run.
+type Time float64
+
+// Event kinds.
+const (
+	evCallback = iota // run fn inline in the engine goroutine
+	evStart           // start a process goroutine and wait for it to yield
+	evResume          // resume a parked process and wait for it to yield
+)
+
+type event struct {
+	t         Time
+	seq       uint64
+	kind      int
+	fn        func()
+	p         *Proc
+	body      func(*Proc)
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled callback that can be cancelled before it
+// fires. Cancelling an already-fired or already-cancelled timer is a no-op.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from running.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.cancelled = true
+	}
+}
+
+// When reports the virtual time the timer is scheduled to fire at.
+func (t *Timer) When() Time { return t.ev.t }
+
+// Engine is a discrete-event simulation scheduler. The zero value is not
+// usable; create engines with New.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	live   int            // processes started and not yet finished
+	parked map[*Proc]bool // processes waiting on a Signal
+	yield  chan struct{}  // baton: process -> engine
+	// panicVal carries a panic out of a process goroutine so that Run can
+	// re-panic in the caller's goroutine with useful context.
+	panicVal interface{}
+	// MaxEvents, when non-zero, aborts Run with ErrEventBudget after
+	// dispatching that many events. It is a guard against accidental
+	// non-termination in tests.
+	MaxEvents  uint64
+	dispatched uint64
+}
+
+// New returns a ready-to-use Engine with the clock at zero.
+func New() *Engine {
+	return &Engine{
+		parked: make(map[*Proc]bool),
+		yield:  make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+func (e *Engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// At schedules fn to run at virtual time t (which must not be in the past)
+// and returns a cancellable Timer.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%v) is in the past (now=%v)", t, e.now))
+	}
+	ev := &event{t: t, kind: evCallback, fn: fn}
+	e.push(ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Time, fn func()) *Timer { return e.At(e.now+d, fn) }
+
+// Proc is a simulated process. Each Proc runs in its own goroutine but
+// executes strictly interleaved with the engine and all other processes.
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Spawn registers a new process whose body is fn. The process starts at the
+// current virtual time, once the engine reaches its start event.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.live++
+	e.push(&event{t: e.now, kind: evStart, p: p, body: fn})
+	return p
+}
+
+// SpawnAt is like Spawn but delays the process start until virtual time t.
+func (e *Engine) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: SpawnAt(%v) is in the past (now=%v)", t, e.now))
+	}
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.live++
+	e.push(&event{t: t, kind: evStart, p: p, body: fn})
+	return p
+}
+
+// park hands the baton back to the engine and blocks until resumed.
+func (p *Proc) park() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d seconds of virtual time. Negative
+// durations are treated as zero.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.e
+	e.push(&event{t: e.now + d, kind: evResume, p: p})
+	p.park()
+}
+
+// Yield suspends the process until all other events scheduled for the
+// current instant have run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Wait blocks the process until the signal fires. It returns immediately if
+// the signal has already fired.
+func (p *Proc) Wait(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.e.parked[p] = true
+	p.park()
+}
+
+// WaitAll blocks until every given signal has fired.
+func (p *Proc) WaitAll(sigs ...*Signal) {
+	for _, s := range sigs {
+		p.Wait(s)
+	}
+}
+
+// WaitAny blocks until at least one of the given signals has fired and
+// returns the index of the first fired signal (lowest index wins when
+// several are already fired).
+func (p *Proc) WaitAny(sigs ...*Signal) int {
+	for {
+		for i, s := range sigs {
+			if s.fired {
+				return i
+			}
+		}
+		any := NewSignal()
+		for _, s := range sigs {
+			s.onFire(func() { any.Fire(p.e) })
+		}
+		p.Wait(any)
+	}
+}
+
+// Signal is a one-shot broadcast condition. Once fired it stays fired;
+// waiting on a fired signal returns immediately.
+type Signal struct {
+	fired   bool
+	waiters []*Proc
+	cbs     []func()
+}
+
+// NewSignal returns an unfired Signal.
+func NewSignal() *Signal { return &Signal{} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire fires the signal at the engine's current time, waking all waiters and
+// running all registered callbacks. Firing twice is a no-op.
+func (s *Signal) Fire(e *Engine) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	cbs := s.cbs
+	s.cbs = nil
+	for _, cb := range cbs {
+		cb()
+	}
+	waiters := s.waiters
+	s.waiters = nil
+	for _, p := range waiters {
+		delete(e.parked, p)
+		e.push(&event{t: e.now, kind: evResume, p: p})
+	}
+}
+
+// onFire registers cb to run when the signal fires; if already fired, cb
+// runs immediately.
+func (s *Signal) onFire(cb func()) {
+	if s.fired {
+		cb()
+		return
+	}
+	s.cbs = append(s.cbs, cb)
+}
+
+// OnFire registers cb to run (in engine context, at fire time) when the
+// signal fires. If the signal already fired, cb runs immediately.
+func (s *Signal) OnFire(cb func()) { s.onFire(cb) }
+
+// Counter fires its Signal when Done has been called n times. It is the
+// simulation analogue of sync.WaitGroup.
+type Counter struct {
+	n   int
+	sig *Signal
+	e   *Engine
+}
+
+// NewCounter returns a Counter expecting n completions. A counter created
+// with n <= 0 fires immediately on first use of Signal's Wait (its signal is
+// pre-fired).
+func NewCounter(e *Engine, n int) *Counter {
+	c := &Counter{n: n, sig: NewSignal(), e: e}
+	if n <= 0 {
+		c.sig.Fire(e)
+	}
+	return c
+}
+
+// Done records one completion, firing the signal when the count reaches zero.
+func (c *Counter) Done() {
+	c.n--
+	if c.n == 0 {
+		c.sig.Fire(c.e)
+	}
+	if c.n < 0 {
+		panic("sim: Counter.Done called more times than expected")
+	}
+}
+
+// Signal returns the signal that fires when the counter reaches zero.
+func (c *Counter) Signal() *Signal { return c.sig }
+
+// DeadlockError is returned by Run when the event queue drains while
+// processes are still parked on signals that can never fire.
+type DeadlockError struct {
+	// Parked lists the names of the stuck processes, sorted.
+	Parked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock: %d process(es) parked forever: %v", len(d.Parked), d.Parked)
+}
+
+// ErrEventBudget is returned by Run when MaxEvents is exceeded.
+type ErrEventBudget struct{ Dispatched uint64 }
+
+func (e *ErrEventBudget) Error() string {
+	return fmt.Sprintf("sim: event budget exceeded after %d events", e.Dispatched)
+}
+
+// Run dispatches events until the queue is empty. It must be called from the
+// goroutine that owns the engine (the "engine goroutine"). It returns nil on
+// a clean drain, a *DeadlockError if processes remain parked, or an
+// *ErrEventBudget if MaxEvents was exceeded. A panic inside a process is
+// re-panicked from Run.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		if e.MaxEvents != 0 && e.dispatched >= e.MaxEvents {
+			return &ErrEventBudget{Dispatched: e.dispatched}
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.dispatched++
+		e.now = ev.t
+		switch ev.kind {
+		case evCallback:
+			ev.fn()
+		case evStart:
+			p, body := ev.p, ev.body
+			go func() {
+				defer func() {
+					if r := recover(); r != nil {
+						e.panicVal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+					}
+					e.live--
+					e.yield <- struct{}{}
+				}()
+				body(p)
+			}()
+			<-e.yield
+		case evResume:
+			ev.p.resume <- struct{}{}
+			<-e.yield
+		}
+		if e.panicVal != nil {
+			panic(e.panicVal)
+		}
+	}
+	if e.live > 0 {
+		names := make([]string, 0, len(e.parked))
+		for p := range e.parked {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		return &DeadlockError{Parked: names}
+	}
+	return nil
+}

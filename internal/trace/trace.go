@@ -1,0 +1,147 @@
+// Package trace records timelines of simulated MPI activity — message
+// sends and deliveries, collective and task boundaries — and exports them
+// as JSON or in the Chrome trace-event format (chrome://tracing,
+// https://ui.perfetto.dev), which makes HAN's task pipelining visually
+// inspectable: the ib/sb overlap of Fig 1 shows up as overlapping spans on
+// a leader's timeline.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind classifies a trace event.
+type Kind string
+
+// Event kinds.
+const (
+	KindSend      Kind = "send"       // Isend issued
+	KindDeliver   Kind = "deliver"    // payload matched and copied at the receiver
+	KindCollBegin Kind = "coll-begin" // collective entered on a rank
+	KindCollEnd   Kind = "coll-end"   // collective completed on a rank
+	KindTaskBegin Kind = "task-begin" // HAN task issued (ib, sb, sr, ...)
+	KindTaskEnd   Kind = "task-end"   // HAN task completed
+)
+
+// Event is one timeline record.
+type Event struct {
+	// T is the virtual time in seconds.
+	T float64 `json:"t"`
+	// Rank is the world rank the event belongs to.
+	Rank int    `json:"rank"`
+	Kind Kind   `json:"kind"`
+	Name string `json:"name"` // operation or task label
+	// Size is a payload size in bytes, when meaningful.
+	Size int `json:"size,omitempty"`
+	// Peer is the other rank of a point-to-point event, -1 otherwise.
+	Peer int `json:"peer,omitempty"`
+}
+
+// Recorder accumulates events. The zero value is ready to use; a nil
+// *Recorder discards everything, so call sites never need nil checks.
+type Recorder struct {
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record appends an event; no-op on a nil recorder.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded events in record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Filter returns the events of one kind.
+func (r *Recorder) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the raw event list as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Events())
+}
+
+// chromeEvent is one entry of the Chrome trace-event format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"` // B=begin, E=end, i=instant
+	Ts   float64           `json:"ts"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the events so chrome://tracing or Perfetto can
+// render one timeline row per rank: collective and task begin/end pairs
+// become spans, sends and deliveries become instant markers.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	evs := append([]Event(nil), r.Events()...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{}
+	for _, e := range evs {
+		ce := chromeEvent{
+			Name: e.Name,
+			Ts:   e.T * 1e6,
+			Pid:  0,
+			Tid:  e.Rank,
+		}
+		switch e.Kind {
+		case KindCollBegin, KindTaskBegin:
+			ce.Ph = "B"
+		case KindCollEnd, KindTaskEnd:
+			ce.Ph = "E"
+		default:
+			ce.Ph = "i"
+			ce.S = "t"
+			ce.Args = map[string]string{
+				"size": fmt.Sprintf("%d", e.Size),
+				"peer": fmt.Sprintf("%d", e.Peer),
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary returns per-kind event counts, useful in tests and logs.
+func (r *Recorder) Summary() map[Kind]int {
+	s := make(map[Kind]int)
+	for _, e := range r.Events() {
+		s[e.Kind]++
+	}
+	return s
+}

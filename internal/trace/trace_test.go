@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func sample() *Recorder {
+	r := New()
+	r.Record(Event{T: 0, Rank: 0, Kind: KindCollBegin, Name: "han.Bcast", Size: 1024, Peer: -1})
+	r.Record(Event{T: 1e-6, Rank: 0, Kind: KindSend, Name: "send", Size: 512, Peer: 1})
+	r.Record(Event{T: 3e-6, Rank: 1, Kind: KindDeliver, Name: "deliver", Size: 512, Peer: 0})
+	r.Record(Event{T: 5e-6, Rank: 0, Kind: KindCollEnd, Name: "han.Bcast", Size: 1024, Peer: -1})
+	return r
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindSend})
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder should discard and report empty")
+	}
+}
+
+func TestRecordAndFilter(t *testing.T) {
+	r := sample()
+	if r.Len() != 4 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	sends := r.Filter(KindSend)
+	if len(sends) != 1 || sends[0].Peer != 1 {
+		t.Fatalf("filter wrong: %+v", sends)
+	}
+	sum := r.Summary()
+	if sum[KindCollBegin] != 1 || sum[KindDeliver] != 1 {
+		t.Fatalf("summary wrong: %v", sum)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := sample()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back []Event
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 || back[1].Kind != KindSend || back[1].Size != 512 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	r := sample()
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("got %d chrome events", len(out.TraceEvents))
+	}
+	// Begin/end phases bracket the collective; sends are instants.
+	phases := map[string]int{}
+	for _, e := range out.TraceEvents {
+		phases[e["ph"].(string)]++
+	}
+	if phases["B"] != 1 || phases["E"] != 1 || phases["i"] != 2 {
+		t.Fatalf("phases wrong: %v", phases)
+	}
+	// Timestamps are microseconds, sorted ascending.
+	prev := -1.0
+	for _, e := range out.TraceEvents {
+		ts := e["ts"].(float64)
+		if ts < prev {
+			t.Fatal("chrome events not time-sorted")
+		}
+		prev = ts
+	}
+}
