@@ -1,0 +1,30 @@
+# Developer entry points. CI runs the `ci` target's steps (see
+# .github/workflows/ci.yml); keep the two in sync.
+
+GO ?= go
+
+.PHONY: build test race vet ci bench bench-alloc
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: build vet race
+	$(GO) test -race -count=1 -run 'Differential|Parity|Deterministic' ./internal/flow/ .
+
+# Allocator micro-benchmarks: incremental vs reference, side by side.
+bench-alloc:
+	$(GO) test -run xxx -bench Rebalance -benchmem ./internal/flow/
+
+# Trimmed paper-scale wall-clock benchmark (4096 ranks); compare against
+# BENCH_allocator.json.
+bench:
+	$(GO) test -run xxx -bench 'Fig10Scale4096' -benchtime 1x -benchmem .

@@ -13,6 +13,7 @@
 package hanbench
 
 import (
+	"math"
 	"testing"
 
 	"github.com/hanrepro/han/internal/apps"
@@ -20,6 +21,7 @@ import (
 	"github.com/hanrepro/han/internal/bench"
 	"github.com/hanrepro/han/internal/cluster"
 	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/flow"
 	"github.com/hanrepro/han/internal/han"
 	"github.com/hanrepro/han/internal/mpi"
 	"github.com/hanrepro/han/internal/rivals"
@@ -186,6 +188,50 @@ func BenchmarkFig10BcastShaheen(b *testing.B) {
 	b.ReportMetric(hanT*1e6, "sim-us/HAN")
 	b.ReportMetric(ompiT*1e6, "sim-us/OMPI")
 	b.ReportMetric(crayT*1e6, "sim-us/Cray")
+}
+
+// BenchmarkFig10Scale4096 is the trimmed paper-scale wall-clock benchmark:
+// one HAN broadcast on the full ShaheenII machine (128 nodes x 32 ranks =
+// 4096 processes, the scale of Figs 10/13), at a 256KB point so a single
+// iteration stays in seconds. It exists to measure the *simulator's own*
+// cost at headline scale; BENCH_allocator.json records its baseline. The
+// RefAlloc variant runs the same workload on the from-scratch reference
+// allocator for an A/B comparison — both must report byte-identical sim-us.
+func BenchmarkFig10Scale4096(b *testing.B) {
+	spec := cluster.ShaheenII()
+	var hanT float64
+	for i := 0; i < b.N; i++ {
+		hanT = imbPoint(spec, bench.HANSystem(nil), coll.Bcast, 256<<10)
+	}
+	b.ReportMetric(hanT*1e6, "sim-us/HAN")
+}
+
+func BenchmarkFig10Scale4096RefAlloc(b *testing.B) {
+	prev := flow.DefaultAllocator
+	flow.DefaultAllocator = flow.Reference
+	defer func() { flow.DefaultAllocator = prev }()
+	spec := cluster.ShaheenII()
+	var hanT float64
+	for i := 0; i < b.N; i++ {
+		hanT = imbPoint(spec, bench.HANSystem(nil), coll.Bcast, 256<<10)
+	}
+	b.ReportMetric(hanT*1e6, "sim-us/HAN")
+}
+
+// TestAllocatorParityEndToEnd runs a full HAN broadcast through the whole
+// MPI stack under both allocators and requires bit-identical virtual times
+// — the end-to-end form of internal/flow's differential tests.
+func TestAllocatorParityEndToEnd(t *testing.T) {
+	measure := func(a flow.Allocator) uint64 {
+		prev := flow.DefaultAllocator
+		flow.DefaultAllocator = a
+		defer func() { flow.DefaultAllocator = prev }()
+		return math.Float64bits(imbPoint(shaheenSmall(), bench.HANSystem(nil), coll.Bcast, 4<<20))
+	}
+	inc, ref := measure(flow.Incremental), measure(flow.Reference)
+	if inc != ref {
+		t.Fatalf("allocators disagree end-to-end: incremental %016x vs reference %016x", inc, ref)
+	}
 }
 
 // BenchmarkFig11P2P measures the Netpipe ping-pong sweep (Fig 11).

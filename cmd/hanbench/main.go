@@ -19,6 +19,7 @@ import (
 	"github.com/hanrepro/han/internal/bench"
 	"github.com/hanrepro/han/internal/cluster"
 	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/flow"
 	"github.com/hanrepro/han/internal/han"
 	"github.com/hanrepro/han/internal/rivals"
 )
@@ -31,7 +32,12 @@ func main() {
 	systemsFlag := flag.String("systems", "HAN,OpenMPI-default", "comma-separated systems: HAN, OpenMPI-default, CrayMPI, IntelMPI, MVAPICH2")
 	sizesFlag := flag.String("sizes", "", "comma-separated message sizes in bytes (default: IMB small+large sweep)")
 	tablePath := flag.String("table", "", "autotuning lookup table (JSON) to drive HAN's decisions")
+	refAlloc := flag.Bool("refalloc", false, "use the from-scratch reference rate allocator instead of the incremental one (A/B debugging; results are bit-identical, only wall-clock differs)")
 	flag.Parse()
+
+	if *refAlloc {
+		flow.DefaultAllocator = flow.Reference
+	}
 
 	spec, err := machineSpec(*machine)
 	if err != nil {

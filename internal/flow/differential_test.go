@@ -1,0 +1,227 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// churnEvent is one observed flow completion: which flow, and the exact bits
+// of the virtual completion time. Comparing slices of these compares both
+// values and wake ordering.
+type churnEvent struct {
+	flow int
+	bits uint64
+}
+
+// runChurn drives a seeded random start/complete workload against the given
+// allocator and returns the completion trace plus the exact final clock.
+//
+// The generated graphs deliberately mix the regimes the HAN machines
+// produce: chained multi-resource paths (NIC→NIC→bus), hot shared
+// resources (fan-in), singleton flows, simultaneous same-instant waves, and
+// staggered arrivals that retrigger rebalancing mid-flight.
+func runChurn(t *testing.T, alloc Allocator, seedv int64) ([]churnEvent, uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seedv))
+	e := sim.New()
+	n := NewNetwork(e)
+	n.SetAllocator(alloc)
+
+	nRes := 4 + rng.Intn(12)
+	res := make([]*Resource, nRes)
+	for i := range res {
+		res[i] = n.NewResource("r", 10+rng.Float64()*1000)
+	}
+
+	var trace []churnEvent
+	nFlows := 60 + rng.Intn(140)
+	for i := 0; i < nFlows; i++ {
+		i := i
+		pathLen := 1 + rng.Intn(3)
+		perm := rng.Perm(nRes)
+		path := make([]*Resource, pathLen)
+		for j := 0; j < pathLen; j++ {
+			path[j] = res[perm[j]]
+		}
+		bytes := 1 + rng.Float64()*5000
+		// A third of the flows start in same-instant waves to stress
+		// tie-breaking; the rest arrive staggered.
+		var start sim.Time
+		switch rng.Intn(3) {
+		case 0:
+			start = sim.Time(rng.Intn(4))
+		default:
+			start = sim.Time(rng.Float64() * 4)
+		}
+		e.SpawnAt(start, "f", func(p *sim.Proc) {
+			f := n.Start(bytes, path...)
+			p.Wait(f.Done())
+			trace = append(trace, churnEvent{flow: i, bits: math.Float64bits(float64(p.Now()))})
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("seed %d alloc %v: %v", seedv, alloc, err)
+	}
+	if len(trace) != nFlows {
+		t.Fatalf("seed %d alloc %v: %d of %d flows completed", seedv, alloc, len(trace), nFlows)
+	}
+	return trace, math.Float64bits(float64(e.Now()))
+}
+
+// The incremental allocator must reproduce the reference from-scratch
+// filler exactly: same completion times to the bit, same wake order, same
+// final clock, across randomized churn.
+func TestDifferentialIncrementalVsReference(t *testing.T) {
+	for seedv := int64(1); seedv <= 25; seedv++ {
+		inc, incNow := runChurn(t, Incremental, seedv)
+		ref, refNow := runChurn(t, Reference, seedv)
+		if incNow != refNow {
+			t.Fatalf("seed %d: final clock differs: incremental %016x vs reference %016x",
+				seedv, incNow, refNow)
+		}
+		for i := range ref {
+			if inc[i] != ref[i] {
+				t.Fatalf("seed %d: completion %d differs: incremental flow %d @%016x vs reference flow %d @%016x",
+					seedv, i, inc[i].flow, inc[i].bits, ref[i].flow, ref[i].bits)
+			}
+		}
+	}
+}
+
+// Two runs of the same seed under the same allocator must produce identical
+// event traces (full determinism, the property autotuning sweeps rely on).
+func TestChurnDeterministic(t *testing.T) {
+	for _, alloc := range []Allocator{Incremental, Reference} {
+		a, aNow := runChurn(t, alloc, 42)
+		b, bNow := runChurn(t, alloc, 42)
+		if aNow != bNow {
+			t.Fatalf("alloc %v: final clock nondeterministic: %016x vs %016x", alloc, aNow, bNow)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("alloc %v: trace diverges at %d: %+v vs %+v", alloc, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// Rates mid-flight must agree too, not only completion times: sample Rate()
+// at instants between churn events.
+func TestDifferentialRatesMidFlight(t *testing.T) {
+	sample := func(alloc Allocator) []uint64 {
+		e := sim.New()
+		n := NewNetwork(e)
+		n.SetAllocator(alloc)
+		r1 := n.NewResource("r1", 100)
+		r2 := n.NewResource("r2", 250)
+		r3 := n.NewResource("r3", 40)
+		var flows []*Flow
+		starts := []struct {
+			at    sim.Time
+			bytes float64
+			path  []*Resource
+		}{
+			{0, 300, []*Resource{r1}},
+			{0, 300, []*Resource{r1, r2}},
+			{0.5, 200, []*Resource{r2}},
+			{0.5, 200, []*Resource{r3, r2}},
+			{1, 100, []*Resource{r1, r3}},
+			{1, 500, []*Resource{r2, r1}},
+		}
+		for _, s := range starts {
+			s := s
+			e.At(s.at, func() { flows = append(flows, n.Start(s.bytes, s.path...)) })
+		}
+		var rates []uint64
+		for _, at := range []sim.Time{0.25, 0.75, 1.5, 2.5, 4, 7} {
+			at := at
+			e.At(at, func() {
+				for _, f := range flows {
+					rates = append(rates, math.Float64bits(f.Rate()))
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			panic(err)
+		}
+		return rates
+	}
+	inc, ref := sample(Incremental), sample(Reference)
+	if len(inc) != len(ref) {
+		t.Fatalf("sample counts differ: %d vs %d", len(inc), len(ref))
+	}
+	for i := range ref {
+		if inc[i] != ref[i] {
+			t.Fatalf("rate sample %d differs: %016x vs %016x", i, inc[i], ref[i])
+		}
+	}
+}
+
+// A degenerate component (here: a resource whose capacity was corrupted to
+// zero mid-run) must panic with a diagnostic instead of scheduling an
+// infinite timer and silently hanging the event loop.
+func TestDegenerateRatePanicsWithDiagnostic(t *testing.T) {
+	e := sim.New()
+	n := NewNetwork(e)
+	r := n.NewResource("link", 100)
+	n.Start(50, r)
+	r.Capacity = 0 // corrupt: NewResource would reject this
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("rebalance over a zero-capacity resource did not panic")
+		}
+		msg, ok := rec.(string)
+		if !ok || !strings.Contains(msg, "degenerate allocation") || !strings.Contains(msg, "link") {
+			t.Fatalf("panic %v lacks diagnostic (want allocator + resource name)", rec)
+		}
+	}()
+	n.Start(50, r) // second flow forces a rebalance at share 0
+}
+
+// The reference allocator must also refuse degenerate rates.
+func TestDegenerateRatePanicsReference(t *testing.T) {
+	e := sim.New()
+	n := NewNetwork(e)
+	n.SetAllocator(Reference)
+	r := n.NewResource("link", 100)
+	n.Start(50, r)
+	r.Capacity = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reference rebalance over a zero-capacity resource did not panic")
+		}
+	}()
+	n.Start(50, r)
+}
+
+// Switching allocators mid-run is allowed and keeps results exact: the
+// resident scratch state is rebuilt from scratch on every rebalance.
+func TestAllocatorSwitchMidRun(t *testing.T) {
+	e := sim.New()
+	n := NewNetwork(e)
+	r := n.NewResource("r", 100)
+	var endA, endB sim.Time
+	e.Spawn("a", func(p *sim.Proc) {
+		f := n.Start(100, r)
+		p.Wait(f.Done())
+		endA = p.Now()
+	})
+	e.Spawn("b", func(p *sim.Proc) {
+		p.Sleep(0.5)
+		n.SetAllocator(Reference)
+		f := n.Start(100, r)
+		p.Wait(f.Done())
+		endB = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(endA), 1.5) || !almost(float64(endB), 2.0) {
+		t.Fatalf("ends %v %v, want 1.5 2.0", endA, endB)
+	}
+}

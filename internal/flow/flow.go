@@ -11,8 +11,16 @@
 // Concurrent flows share resources with progressive-filling max-min
 // fairness. Whenever a flow starts or completes, rates are recomputed — but
 // only inside the affected connected component (flows transitively linked by
-// shared resources), which keeps large simulations with thousands of
-// independent node-local flows fast.
+// shared resources): exactly the set of flows whose bottleneck can change.
+//
+// Two allocator implementations exist. Incremental (the default) keeps the
+// filling scratch state resident on the resources themselves, validated by
+// an epoch counter, and compacts its scan lists as flows freeze — no maps,
+// no per-rebalance allocation. Reference is the original from-scratch
+// filler, kept as the behavioural oracle: the two are cross-checked
+// bit-for-bit by the differential tests in this package, and produce
+// byte-identical virtual times by construction (identical traversal order
+// and identical floating-point operations; see DESIGN.md §4).
 //
 // This model is what makes the HAN reproduction honest: overlap between
 // inter-node and intra-node traffic emerges from resource sharing (memory
@@ -26,6 +34,23 @@ import (
 	"github.com/hanrepro/han/internal/sim"
 )
 
+// Allocator selects a rate-allocation implementation.
+type Allocator int
+
+const (
+	// Incremental is the default allocator: resource-resident scratch state
+	// plus compacted progressive filling, allocation-free on the rebalance
+	// hot path.
+	Incremental Allocator = iota
+	// Reference is the original from-scratch progressive filler. It is kept
+	// as the oracle for differential tests and for A/B benchmarking.
+	Reference
+)
+
+// DefaultAllocator is the allocator new networks start with. Tools flip it
+// to Reference for A/B runs (see cmd/hanbench -refalloc).
+var DefaultAllocator = Incremental
+
 // Resource is a capacity-limited element of the platform.
 type Resource struct {
 	// Name identifies the resource in debug output.
@@ -34,6 +59,12 @@ type Resource struct {
 	Capacity float64
 
 	flows []*Flow // active flows crossing this resource, insertion order
+
+	// Rebalance scratch, resident on the resource so a rebalance never
+	// allocates a map. Valid only while gen equals the network's visitGen.
+	gen      uint64
+	residual float64
+	count    int
 }
 
 // Load returns the number of flows currently crossing the resource.
@@ -52,16 +83,18 @@ func (r *Resource) remove(f *Flow) {
 type Flow struct {
 	net       *Network
 	path      []*Resource
-	remaining float64  // bytes left
-	rate      float64  // current allocated bytes/s
-	last      sim.Time // time remaining was last brought up to date
-	timer     *sim.Timer
+	remaining float64   // bytes left
+	rate      float64   // current allocated bytes/s
+	last      sim.Time  // time remaining was last brought up to date
+	timer     sim.Timer // completion timer, rearmed in place on rebalance
 	done      *sim.Signal
 	finished  bool
+	onDone    func() // cached completion callback, one closure per flow
 
 	// scratch fields for rate computation
 	frozen bool
-	mark   bool
+	visit  uint64 // component DFS epoch mark
+	sweep  uint64 // completion-sweep epoch mark
 }
 
 // Done returns the signal fired when the flow's last byte has been
@@ -77,11 +110,31 @@ func (f *Flow) Remaining() float64 { return f.remaining }
 
 // Network tracks active flows over a set of resources.
 type Network struct {
-	e *sim.Engine
+	e    *sim.Engine
+	mode Allocator
+
+	// Reusable scratch for rebalances, grown once and kept. comp holds the
+	// component of the most recent rebalance (complete's neighbour sweep
+	// reads it to mark whole components as rebalanced).
+	comp     []*Flow
+	stack    []*Flow
+	res      []*Resource
+	active   []*Flow
+	visitGen uint64
+	sweepGen uint64
 }
 
-// NewNetwork returns a flow network bound to the given engine.
-func NewNetwork(e *sim.Engine) *Network { return &Network{e: e} }
+// NewNetwork returns a flow network bound to the given engine, using
+// DefaultAllocator.
+func NewNetwork(e *sim.Engine) *Network { return &Network{e: e, mode: DefaultAllocator} }
+
+// SetAllocator selects the allocator implementation. Switching while flows
+// are in flight is allowed (both allocators read and write the same flow
+// state and produce identical results).
+func (n *Network) SetAllocator(a Allocator) { n.mode = a }
+
+// AllocatorMode returns the active allocator implementation.
+func (n *Network) AllocatorMode() Allocator { return n.mode }
 
 // NewResource creates a resource with the given capacity in bytes/s.
 func (n *Network) NewResource(name string, capacity float64) *Resource {
@@ -104,6 +157,7 @@ func (n *Network) Start(bytes float64, path ...*Resource) *Flow {
 	if len(path) == 0 {
 		panic("flow: positive-size flow needs a non-empty path")
 	}
+	f.onDone = func() { n.complete(f) }
 	for _, r := range path {
 		r.flows = append(r.flows, f)
 	}
@@ -111,41 +165,50 @@ func (n *Network) Start(bytes float64, path ...*Resource) *Flow {
 	return f
 }
 
-// component collects all flows transitively sharing a resource with seed,
-// in deterministic order.
-func component(seed *Flow) []*Flow {
-	var comp []*Flow
-	var stack []*Flow
-	seed.mark = true
-	stack = append(stack, seed)
+// collectComponent gathers all flows transitively sharing a resource with
+// seed into n.comp, and every resource they cross into n.res, initialising
+// the resources' resident scratch (residual = capacity, count = crossing
+// flows). Traversal order is deterministic: DFS in path/insertion order,
+// identical for both allocators.
+func (n *Network) collectComponent(seed *Flow) {
+	n.visitGen++
+	vg := n.visitGen
+	comp := n.comp[:0]
+	stack := append(n.stack[:0], seed)
+	seed.visit = vg
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		comp = append(comp, f)
 		for _, r := range f.path {
 			for _, g := range r.flows {
-				if !g.mark {
-					g.mark = true
+				if g.visit != vg {
+					g.visit = vg
 					stack = append(stack, g)
 				}
 			}
 		}
 	}
+	// Resource scratch in first-touch (component × path) order, exactly the
+	// order the reference filler builds its map in.
+	res := n.res[:0]
 	for _, f := range comp {
-		f.mark = false
+		for _, r := range f.path {
+			if r.gen != vg {
+				r.gen = vg
+				r.residual = r.Capacity
+				r.count = 0
+				res = append(res, r)
+			}
+			r.count++
+		}
 	}
-	return comp
+	n.comp, n.stack, n.res = comp, stack[:0], res
 }
 
-// rebalance brings every flow in seed's component up to date, re-runs
-// max-min fair allocation for the component, and reschedules completion
-// timers.
-func (n *Network) rebalance(seed *Flow) {
-	now := n.e.Now()
-	comp := component(seed)
-
-	// Advance progress under the old rates.
-	for _, f := range comp {
+// advance brings every flow in n.comp up to date under its old rate.
+func (n *Network) advance(now sim.Time) {
+	for _, f := range n.comp {
 		elapsed := float64(now - f.last)
 		if elapsed > 0 && f.rate > 0 {
 			f.remaining -= f.rate * elapsed
@@ -156,9 +219,114 @@ func (n *Network) rebalance(seed *Flow) {
 		f.last = now
 		f.frozen = false
 	}
+}
 
-	// Progressive filling. Residual capacity and unfrozen-flow counts are
-	// tracked per resource touched by the component.
+// rebalance brings every flow in seed's component up to date, re-runs
+// max-min fair allocation for the component, and reschedules completion
+// timers.
+func (n *Network) rebalance(seed *Flow) {
+	now := n.e.Now()
+	n.collectComponent(seed)
+	n.advance(now)
+	if n.mode == Reference {
+		n.fillReference()
+	} else {
+		n.fillIncremental()
+	}
+	// Reschedule completion timers under the new rates. AfterInto retargets
+	// a still-pending timer in place, so rebalancing does not tombstone the
+	// event heap.
+	for _, f := range n.comp {
+		eta := sim.Time(f.remaining / f.rate)
+		if f.rate <= 0 || math.IsInf(float64(eta), 0) || math.IsNaN(float64(eta)) {
+			panic(fmt.Sprintf(
+				"flow: degenerate allocation: flow over %q got rate %v with %v bytes remaining (component of %d flows) — refusing to schedule eta %v",
+				f.path[0].Name, f.rate, f.remaining, len(n.comp), eta))
+		}
+		n.e.AfterInto(&f.timer, eta, f.onDone)
+	}
+}
+
+// fillIncremental runs progressive filling over n.comp using the resources'
+// resident scratch. Scan lists are compacted in place (order-preserving, so
+// the float operations match fillReference exactly) as flows freeze and
+// resources drain.
+func (n *Network) fillIncremental() {
+	if len(n.comp) == 1 {
+		// A lone flow takes the fair share of its tightest resource: the
+		// same min(residual/count) the general loop would compute, with
+		// every count == 1.
+		f := n.comp[0]
+		share := math.Inf(1)
+		for _, r := range f.path {
+			if s := r.residual / float64(r.count); s < share {
+				share = s
+			}
+		}
+		f.rate = share
+		return
+	}
+	active := append(n.active[:0], n.comp...)
+	res := n.res
+	for len(active) > 0 {
+		share := math.Inf(1)
+		for _, r := range res {
+			if r.count > 0 {
+				if s := r.residual / float64(r.count); s < share {
+					share = s
+				}
+			}
+		}
+		if math.IsInf(share, 1) {
+			panic("flow: unfrozen flows but no constraining resource")
+		}
+		// Freeze every flow crossing a bottleneck resource at the fair
+		// share, compacting the active list in place.
+		w := 0
+		for _, f := range active {
+			bottled := false
+			for _, r := range f.path {
+				if r.residual/float64(r.count) <= share*(1+1e-12) {
+					bottled = true
+					break
+				}
+			}
+			if !bottled {
+				active[w] = f
+				w++
+				continue
+			}
+			f.rate = share
+			for _, r := range f.path {
+				r.residual -= share
+				if r.residual < 0 {
+					r.residual = 0
+				}
+				r.count--
+			}
+		}
+		if w == len(active) {
+			panic("flow: max-min filling made no progress")
+		}
+		active = active[:w]
+		// Drop drained resources so later rounds scan only live ones.
+		rw := 0
+		for _, r := range res {
+			if r.count > 0 {
+				res[rw] = r
+				rw++
+			}
+		}
+		res = res[:rw]
+	}
+	n.active = active[:0]
+}
+
+// fillReference is the original from-scratch progressive filler, preserved
+// verbatim (per-rebalance map, full-component scans every round) as the
+// differential-testing oracle.
+func (n *Network) fillReference() {
+	comp := n.comp
 	type rstate struct {
 		residual float64
 		count    int
@@ -190,7 +358,6 @@ func (n *Network) rebalance(seed *Flow) {
 		if math.IsInf(share, 1) {
 			panic("flow: unfrozen flows but no constraining resource")
 		}
-		// Freeze every flow crossing a bottleneck resource at the fair share.
 		progress := false
 		for _, f := range comp {
 			if f.frozen {
@@ -224,14 +391,6 @@ func (n *Network) rebalance(seed *Flow) {
 			panic("flow: max-min filling made no progress")
 		}
 	}
-
-	// Reschedule completion timers under the new rates.
-	for _, f := range comp {
-		f.timer.Cancel()
-		f := f
-		eta := sim.Time(f.remaining / f.rate)
-		f.timer = n.e.After(eta, func() { n.complete(f) })
-	}
 }
 
 // complete finishes a flow: detaches it from its resources, fires its done
@@ -248,16 +407,17 @@ func (n *Network) complete(f *Flow) {
 	}
 	f.done.Fire(n.e)
 	// Freed capacity may speed up neighbours: rebalance each disjoint
-	// neighbourhood once.
-	seen := make(map[*Flow]bool)
+	// neighbourhood once. rebalance leaves the component it touched in
+	// n.comp; epoch marks replace the seen-set map.
+	n.sweepGen++
+	sg := n.sweepGen
 	for _, r := range f.path {
 		for _, g := range r.flows {
-			if !seen[g] {
-				// Mark the whole component so each is rebalanced once.
-				for _, h := range component(g) {
-					seen[h] = true
-				}
+			if g.sweep != sg {
 				n.rebalance(g)
+				for _, h := range n.comp {
+					h.sweep = sg
+				}
 			}
 		}
 	}

@@ -134,7 +134,7 @@ func (c *Comm) Isend(p *Proc, buf Buf, dst, tag int) *Request {
 	ready := sim.NewSignal()
 	ov := w.Mach.CPUWork(srcW, w.Pers.SendOverhead)
 	ov.Done().OnFire(func() {
-		eng.After(sim.Time(w.latency(srcW, dstW)), func() { ready.Fire(eng) })
+		eng.Schedule(sim.Time(w.latency(srcW, dstW)), func() { ready.Fire(eng) })
 	})
 
 	// Envelopes between one (src, dst) pair are delivered in issue order —
@@ -161,7 +161,7 @@ func (c *Comm) Isend(p *Proc, buf Buf, dst, tag int) *Request {
 		} else {
 			msg.onMatch = func() {
 				// Clear-to-send travels back, then the payload moves.
-				eng.After(sim.Time(w.latency(dstW, srcW)), func() {
+				eng.Schedule(sim.Time(w.latency(dstW, srcW)), func() {
 					startData(func() {
 						msg.dataArrived.Fire(eng)
 						req.Complete(eng)

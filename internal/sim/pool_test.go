@@ -1,0 +1,234 @@
+package sim
+
+import "testing"
+
+// Repeated WaitAny calls against the same long-lived unfired signals must
+// not accumulate callbacks (the progress-loop pattern in internal/mpi).
+func TestWaitAnyDoesNotLeakCallbacks(t *testing.T) {
+	e := New()
+	slow := NewSignal() // never fires until the very end
+	var peak int
+	e.Spawn("poller", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			tick := NewSignal()
+			e.At(p.Now()+1, func() { tick.Fire(e) })
+			if got := p.WaitAny(slow, tick); got != 1 {
+				t.Errorf("iteration %d: WaitAny = %d, want 1 (tick)", i, got)
+			}
+			if n := slow.pending(); n > peak {
+				peak = n
+			}
+		}
+	})
+	e.At(1000, func() { slow.Fire(e) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// One registration may be live inside a WaitAny; anything that grows
+	// with the iteration count is the leak this guards against.
+	if peak > 2 {
+		t.Fatalf("slow signal accumulated %d callbacks across WaitAny calls, want <= 2", peak)
+	}
+	if n := slow.pending(); n != 0 {
+		t.Fatalf("slow signal still holds %d callbacks after all WaitAny calls returned", n)
+	}
+}
+
+func TestWaitAnyStillReturnsFirstFired(t *testing.T) {
+	e := New()
+	a, b, c := NewSignal(), NewSignal(), NewSignal()
+	var idx int = -1
+	e.Spawn("w", func(p *Proc) { idx = p.WaitAny(a, b, c) })
+	e.At(1, func() {
+		// Fire two at the same instant: lowest index must win.
+		c.Fire(e)
+		b.Fire(e)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("WaitAny = %d, want 1", idx)
+	}
+}
+
+// Timer.When must be nil-safe: a nil handle or a never-armed zero Timer
+// (flow.Flow.timer before the first rebalance) reports 0 instead of
+// dereferencing a nil event.
+func TestTimerWhenNilSafe(t *testing.T) {
+	var nilTimer *Timer
+	if got := nilTimer.When(); got != 0 {
+		t.Fatalf("nil.When() = %v, want 0", got)
+	}
+	var zero Timer
+	if got := zero.When(); got != 0 {
+		t.Fatalf("zero.When() = %v, want 0", got)
+	}
+	zero.Cancel() // must not panic either
+	if zero.Active() {
+		t.Fatal("zero timer reports Active")
+	}
+	e := New()
+	tm := e.At(3, func() {})
+	if got := tm.When(); got != 3 {
+		t.Fatalf("When() = %v, want 3", got)
+	}
+	if !tm.Active() {
+		t.Fatal("armed timer not Active")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// After firing, When still reports the scheduled time; the handle is
+	// just inert.
+	if got := tm.When(); got != 3 {
+		t.Fatalf("after fire When() = %v, want 3", got)
+	}
+	if tm.Active() {
+		t.Fatal("fired timer reports Active")
+	}
+}
+
+// A stale Timer whose event struct has been recycled must not cancel the
+// event's new occupant.
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	e := New()
+	var stale *Timer
+	ran := false
+	stale = e.At(1, func() {})
+	e.At(2, func() {
+		// stale's event fired at t=1 and was recycled. Schedule new work
+		// (likely reusing the same struct) and try to cancel via the stale
+		// handle.
+		e.At(3, func() { ran = true })
+		stale.Cancel()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+}
+
+// AtInto rearm must retarget a pending timer in place: the old callback
+// must not fire, the new one must, and cancellation must keep working.
+func TestAfterIntoRearm(t *testing.T) {
+	e := New()
+	var tm Timer
+	old, new_ := 0, 0
+	e.AfterInto(&tm, 5, func() { old++ })
+	e.At(1, func() { e.AfterInto(&tm, 1, func() { new_++ }) }) // fires at 2
+	e.At(10, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if old != 0 || new_ != 1 {
+		t.Fatalf("old ran %d times, new %d; want 0 and 1", old, new_)
+	}
+	if tm.When() != 2 {
+		t.Fatalf("When() = %v, want 2", tm.When())
+	}
+
+	// Rearm then cancel: nothing fires.
+	e2 := New()
+	var tm2 Timer
+	fired := 0
+	e2.AfterInto(&tm2, 1, func() { fired++ })
+	e2.AfterInto(&tm2, 2, func() { fired++ })
+	tm2.Cancel()
+	e2.At(5, func() {})
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("cancelled rearmed timer fired %d times", fired)
+	}
+}
+
+// Rearming must not disturb dispatch order relative to fresh scheduling: a
+// retargeted event takes the sequence number a newly pushed event would
+// have taken, so same-instant callbacks run in scheduling order.
+func TestRearmKeepsTieOrder(t *testing.T) {
+	run := func(rearm bool) []int {
+		e := New()
+		var order []int
+		var tm Timer
+		e.AfterInto(&tm, 10, func() { order = append(order, 0) })
+		e.At(1, func() {
+			e.At(2, func() { order = append(order, 1) })
+			if rearm {
+				e.AtInto(&tm, 2, func() { order = append(order, 0) })
+			} else {
+				tm.Cancel()
+				var fresh Timer
+				e.AtInto(&fresh, 2, func() { order = append(order, 0) })
+			}
+			e.At(2, func() { order = append(order, 2) })
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(true), run(false)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("orders %v and %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rearm changed tie order: %v vs %v", a, b)
+		}
+	}
+	if a[0] != 1 || a[1] != 0 || a[2] != 2 {
+		t.Fatalf("order %v, want [1 0 2]", a)
+	}
+}
+
+// The event pool must actually recycle: a long run should keep a bounded
+// free list rather than allocating one struct per event.
+func TestEventPoolRecycles(t *testing.T) {
+	e := New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 10000 {
+			e.Schedule(1e-9, tick)
+		}
+	}
+	e.Schedule(1e-9, tick)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.free) > 8 {
+		t.Fatalf("free list holds %d events after a serial run, want a handful", len(e.free))
+	}
+	if n != 10000 {
+		t.Fatalf("ran %d ticks", n)
+	}
+}
+
+func TestSubscribeCancelCompacts(t *testing.T) {
+	e := New()
+	s := NewSignal()
+	cancels := make([]func(), 0, 1000)
+	for i := 0; i < 1000; i++ {
+		cancels = append(cancels, s.Subscribe(func() {}))
+	}
+	for _, c := range cancels[:999] {
+		c()
+	}
+	if n := s.pending(); n != 1 {
+		t.Fatalf("pending = %d, want 1", n)
+	}
+	if len(s.subs) > 4 {
+		t.Fatalf("subs slice holds %d entries after cancellation, want compacted", len(s.subs))
+	}
+	fired := 0
+	s.subs[0].cb = func() { fired++ } // the surviving sub
+	s.Fire(e)
+	if fired != 1 {
+		t.Fatalf("surviving subscription ran %d times", fired)
+	}
+}

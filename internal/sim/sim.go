@@ -10,6 +10,11 @@
 //
 // Processes block with Proc.Sleep and Proc.Wait; other code wakes them by
 // firing Signals or scheduling callbacks with Engine.At / Engine.After.
+//
+// Event records are pooled: large simulations (the 4096-rank HAN runs
+// schedule tens of millions of events) recycle event structs instead of
+// churning the garbage collector. Timer handles stay safe across recycling
+// through a generation counter.
 package sim
 
 import (
@@ -36,6 +41,14 @@ type event struct {
 	p         *Proc
 	body      func(*Proc)
 	cancelled bool
+	// idx is the event's position in the heap (-1 once popped), maintained
+	// so a pending timer can be rearmed in place with heap.Fix instead of
+	// leaving a lazily-cancelled tombstone behind.
+	idx int
+	// gen increments every time the struct is returned to the pool, so a
+	// stale Timer that outlived its event cannot cancel an unrelated
+	// reincarnation of the same struct.
+	gen uint64
 }
 
 type eventHeap []*event
@@ -47,30 +60,58 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
 func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.idx = -1
 	*h = old[:n-1]
 	return e
 }
 
 // Timer is a handle to a scheduled callback that can be cancelled before it
-// fires. Cancelling an already-fired or already-cancelled timer is a no-op.
-type Timer struct{ ev *event }
+// fires. Cancelling an already-fired or already-cancelled timer is a no-op,
+// as is cancelling the zero Timer or a nil *Timer. The zero Timer value is
+// valid and represents "nothing scheduled"; Engine.AfterInto rearms it in
+// place without allocating.
+type Timer struct {
+	ev  *event
+	gen uint64
+	at  Time
+}
 
 // Cancel prevents the timer's callback from running.
 func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
+	if t != nil && t.ev != nil && t.ev.gen == t.gen {
 		t.ev.cancelled = true
 	}
 }
 
-// When reports the virtual time the timer is scheduled to fire at.
-func (t *Timer) When() Time { return t.ev.t }
+// When reports the virtual time the timer was most recently scheduled to
+// fire at. It is nil-safe: a nil or never-armed timer reports 0.
+func (t *Timer) When() Time {
+	if t == nil {
+		return 0
+	}
+	return t.at
+}
+
+// Active reports whether the timer's callback is still pending (armed, not
+// fired, not cancelled).
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled
+}
 
 // Engine is a discrete-event simulation scheduler. The zero value is not
 // usable; create engines with New.
@@ -81,6 +122,7 @@ type Engine struct {
 	live   int            // processes started and not yet finished
 	parked map[*Proc]bool // processes waiting on a Signal
 	yield  chan struct{}  // baton: process -> engine
+	free   []*event       // recycled event structs
 	// panicVal carries a panic out of a process goroutine so that Run can
 	// re-panic in the caller's goroutine with useful context.
 	panicVal interface{}
@@ -102,25 +144,88 @@ func New() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release returns a dispatched or cancelled event to the pool.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.p = nil
+	ev.body = nil
+	ev.cancelled = false
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
 func (e *Engine) push(ev *event) {
 	ev.seq = e.seq
 	e.seq++
 	heap.Push(&e.events, ev)
 }
 
-// At schedules fn to run at virtual time t (which must not be in the past)
-// and returns a cancellable Timer.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) schedule(t Time, fn func()) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: At(%v) is in the past (now=%v)", t, e.now))
 	}
-	ev := &event{t: t, kind: evCallback, fn: fn}
+	ev := e.alloc()
+	ev.t = t
+	ev.kind = evCallback
+	ev.fn = fn
 	e.push(ev)
-	return &Timer{ev: ev}
+	return ev
+}
+
+// At schedules fn to run at virtual time t (which must not be in the past)
+// and returns a cancellable Timer.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	ev := e.schedule(t, fn)
+	return &Timer{ev: ev, gen: ev.gen, at: t}
 }
 
 // After schedules fn to run d seconds from now.
 func (e *Engine) After(d Time, fn func()) *Timer { return e.At(e.now+d, fn) }
+
+// AtInto schedules fn at virtual time t, rearming tm in place. It is the
+// allocation-free form of At for callers that keep a Timer embedded in a
+// long-lived struct (e.g. a flow's completion timer, rearmed on every
+// rebalance). A callback still pending on tm is replaced, not left behind:
+// the queued event is retargeted where it sits (same fresh sequence number
+// a new event would get, so dispatch order is unchanged) instead of
+// tombstoning the heap with a cancelled entry.
+func (e *Engine) AtInto(tm *Timer, t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%v) is in the past (now=%v)", t, e.now))
+	}
+	if ev := tm.ev; ev != nil && ev.gen == tm.gen && ev.idx >= 0 {
+		ev.t = t
+		ev.fn = fn
+		ev.cancelled = false
+		ev.seq = e.seq
+		e.seq++
+		heap.Fix(&e.events, ev.idx)
+		tm.at = t
+		return
+	}
+	ev := e.schedule(t, fn)
+	tm.ev = ev
+	tm.gen = ev.gen
+	tm.at = t
+}
+
+// AfterInto is the allocation-free form of After; see AtInto.
+func (e *Engine) AfterInto(tm *Timer, d Time, fn func()) { e.AtInto(tm, e.now+d, fn) }
+
+// Schedule runs fn d seconds from now with no cancellation handle. It is
+// the cheapest way to schedule fire-and-forget work (latency expiries,
+// protocol continuations).
+func (e *Engine) Schedule(d Time, fn func()) { e.schedule(e.now+d, fn) }
 
 // Proc is a simulated process. Each Proc runs in its own goroutine but
 // executes strictly interleaved with the engine and all other processes.
@@ -142,10 +247,7 @@ func (p *Proc) Now() Time { return p.e.now }
 // Spawn registers a new process whose body is fn. The process starts at the
 // current virtual time, once the engine reaches its start event.
 func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
-	p := &Proc{e: e, name: name, resume: make(chan struct{})}
-	e.live++
-	e.push(&event{t: e.now, kind: evStart, p: p, body: fn})
-	return p
+	return e.SpawnAt(e.now, name, fn)
 }
 
 // SpawnAt is like Spawn but delays the process start until virtual time t.
@@ -155,7 +257,12 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
 	}
 	p := &Proc{e: e, name: name, resume: make(chan struct{})}
 	e.live++
-	e.push(&event{t: t, kind: evStart, p: p, body: fn})
+	ev := e.alloc()
+	ev.t = t
+	ev.kind = evStart
+	ev.p = p
+	ev.body = fn
+	e.push(ev)
 	return p
 }
 
@@ -165,6 +272,15 @@ func (p *Proc) park() {
 	<-p.resume
 }
 
+// resumeAt schedules an evResume for p at time t.
+func (e *Engine) resumeAt(t Time, p *Proc) {
+	ev := e.alloc()
+	ev.t = t
+	ev.kind = evResume
+	ev.p = p
+	e.push(ev)
+}
+
 // Sleep suspends the process for d seconds of virtual time. Negative
 // durations are treated as zero.
 func (p *Proc) Sleep(d Time) {
@@ -172,7 +288,7 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	e := p.e
-	e.push(&event{t: e.now + d, kind: evResume, p: p})
+	e.resumeAt(e.now+d, p)
 	p.park()
 }
 
@@ -201,27 +317,45 @@ func (p *Proc) WaitAll(sigs ...*Signal) {
 // WaitAny blocks until at least one of the given signals has fired and
 // returns the index of the first fired signal (lowest index wins when
 // several are already fired).
+//
+// Each call registers exactly one callback per unfired signal and
+// deregisters all of them before returning, so repeated WaitAny calls
+// against long-lived signals do not accumulate dead callbacks.
 func (p *Proc) WaitAny(sigs ...*Signal) int {
-	for {
-		for i, s := range sigs {
-			if s.fired {
-				return i
-			}
+	for i, s := range sigs {
+		if s.fired {
+			return i
 		}
-		any := NewSignal()
-		for _, s := range sigs {
-			s.onFire(func() { any.Fire(p.e) })
-		}
-		p.Wait(any)
 	}
+	any := NewSignal()
+	wake := func() { any.Fire(p.e) }
+	cancels := make([]func(), len(sigs))
+	for i, s := range sigs {
+		cancels[i] = s.Subscribe(wake)
+	}
+	p.Wait(any)
+	for _, c := range cancels {
+		c()
+	}
+	for i, s := range sigs {
+		if s.fired {
+			return i
+		}
+	}
+	panic("sim: WaitAny woke with no fired signal")
 }
+
+// sub is a cancellable callback registration on a Signal.
+type sub struct{ cb func() }
 
 // Signal is a one-shot broadcast condition. Once fired it stays fired;
 // waiting on a fired signal returns immediately.
 type Signal struct {
 	fired   bool
 	waiters []*Proc
-	cbs     []func()
+	cbs     []func() // permanent registrations (OnFire)
+	subs    []*sub   // cancellable registrations (Subscribe)
+	dead    int      // cancelled entries still occupying subs
 }
 
 // NewSignal returns an unfired Signal.
@@ -231,7 +365,8 @@ func NewSignal() *Signal { return &Signal{} }
 func (s *Signal) Fired() bool { return s.fired }
 
 // Fire fires the signal at the engine's current time, waking all waiters and
-// running all registered callbacks. Firing twice is a no-op.
+// running all registered callbacks. Firing twice is a no-op. Permanent
+// callbacks run before cancellable ones; both run in registration order.
 func (s *Signal) Fire(e *Engine) {
 	if s.fired {
 		return
@@ -242,11 +377,19 @@ func (s *Signal) Fire(e *Engine) {
 	for _, cb := range cbs {
 		cb()
 	}
+	subs := s.subs
+	s.subs = nil
+	s.dead = 0
+	for _, u := range subs {
+		if u.cb != nil {
+			u.cb()
+		}
+	}
 	waiters := s.waiters
 	s.waiters = nil
 	for _, p := range waiters {
 		delete(e.parked, p)
-		e.push(&event{t: e.now, kind: evResume, p: p})
+		e.resumeAt(e.now, p)
 	}
 }
 
@@ -263,6 +406,59 @@ func (s *Signal) onFire(cb func()) {
 // OnFire registers cb to run (in engine context, at fire time) when the
 // signal fires. If the signal already fired, cb runs immediately.
 func (s *Signal) OnFire(cb func()) { s.onFire(cb) }
+
+// Subscribe registers cb like OnFire but returns a deregistration func.
+// Cancelled registrations are compacted away, so transient listeners (e.g.
+// WaitAny) leave no trace on long-lived signals. If the signal already
+// fired, cb runs immediately and the returned cancel is a no-op.
+func (s *Signal) Subscribe(cb func()) (cancel func()) {
+	if s.fired {
+		cb()
+		return func() {}
+	}
+	u := &sub{cb: cb}
+	s.subs = append(s.subs, u)
+	return func() {
+		if u.cb == nil {
+			return
+		}
+		u.cb = nil
+		if s.fired {
+			return
+		}
+		s.dead++
+		if s.dead*2 > len(s.subs) {
+			s.compactSubs()
+		}
+	}
+}
+
+func (s *Signal) compactSubs() {
+	w := 0
+	for _, u := range s.subs {
+		if u.cb != nil {
+			s.subs[w] = u
+			w++
+		}
+	}
+	for i := w; i < len(s.subs); i++ {
+		s.subs[i] = nil
+	}
+	s.subs = s.subs[:w]
+	s.dead = 0
+}
+
+// pending reports how many registered callbacks (live, of either kind) the
+// signal holds. Used by tests to assert bounded growth.
+func (s *Signal) pending() int {
+	n := len(s.cbs)
+	for _, u := range s.subs {
+		if u.cb != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Counter fires its Signal when Done has been called n times. It is the
 // simulation analogue of sync.WaitGroup.
@@ -327,15 +523,19 @@ func (e *Engine) Run() error {
 		}
 		ev := heap.Pop(&e.events).(*event)
 		if ev.cancelled {
+			e.release(ev)
 			continue
 		}
 		e.dispatched++
 		e.now = ev.t
 		switch ev.kind {
 		case evCallback:
-			ev.fn()
+			fn := ev.fn
+			e.release(ev)
+			fn()
 		case evStart:
 			p, body := ev.p, ev.body
+			e.release(ev)
 			go func() {
 				defer func() {
 					if r := recover(); r != nil {
@@ -348,7 +548,9 @@ func (e *Engine) Run() error {
 			}()
 			<-e.yield
 		case evResume:
-			ev.p.resume <- struct{}{}
+			p := ev.p
+			e.release(ev)
+			p.resume <- struct{}{}
 			<-e.yield
 		}
 		if e.panicVal != nil {
