@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet ci bench bench-alloc
+.PHONY: build test race vet ci bench bench-alloc chaos
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,15 @@ race:
 
 ci: build vet race
 	$(GO) test -race -count=1 -run 'Differential|Parity|Deterministic' ./internal/flow/ .
+
+# Fault matrix: every builtin plan across three seeds (what the CI
+# fault-matrix job runs, one cell per runner).
+chaos:
+	@for seed in 1 2 3; do for plan in drops flaps stragglers; do \
+		echo "== seed $$seed plan $$plan"; \
+		HAN_FAULT_SEED=$$seed HAN_FAULT_PLAN=$$plan \
+		$(GO) test -count=1 -run 'FaultMatrix|Chaos' ./internal/han/ ./internal/coll/ || exit 1; \
+	done; done
 
 # Allocator micro-benchmarks: incremental vs reference, side by side.
 bench-alloc:

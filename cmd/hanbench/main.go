@@ -19,6 +19,7 @@ import (
 	"github.com/hanrepro/han/internal/bench"
 	"github.com/hanrepro/han/internal/cluster"
 	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/fault"
 	"github.com/hanrepro/han/internal/flow"
 	"github.com/hanrepro/han/internal/han"
 	"github.com/hanrepro/han/internal/rivals"
@@ -33,6 +34,8 @@ func main() {
 	sizesFlag := flag.String("sizes", "", "comma-separated message sizes in bytes (default: IMB small+large sweep)")
 	tablePath := flag.String("table", "", "autotuning lookup table (JSON) to drive HAN's decisions")
 	refAlloc := flag.Bool("refalloc", false, "use the from-scratch reference rate allocator instead of the incremental one (A/B debugging; results are bit-identical, only wall-clock differs)")
+	faultsFlag := flag.String("faults", "", "built-in fault plan to inject: "+strings.Join(fault.BuiltinNames(), ", "))
+	seed := flag.Int64("seed", 0, "RNG seed for jitter and fault draws (0 = library default); the (seed, faults) pair fully determines the run")
 	flag.Parse()
 
 	if *refAlloc {
@@ -93,6 +96,17 @@ func main() {
 		decide = table.DecisionFunc()
 	}
 
+	var opts bench.IMBOpts
+	opts.Seed = *seed
+	if *faultsFlag != "" {
+		plan, err := fault.Builtin(*faultsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanbench:", err)
+			os.Exit(2)
+		}
+		opts.Faults = &plan
+	}
+
 	var systems []bench.System
 	for _, name := range strings.Split(*systemsFlag, ",") {
 		sys, err := systemByName(strings.TrimSpace(name), decide)
@@ -107,10 +121,13 @@ func main() {
 	points := make(map[string][]bench.Point)
 	for i, sys := range systems {
 		names[i] = sys.Name
-		points[sys.Name] = bench.IMB(spec, sys, kind, sizes)
+		points[sys.Name] = bench.IMBWith(spec, sys, kind, sizes, opts)
 	}
 	title := fmt.Sprintf("%s on %s (%d nodes x %d ppn = %d processes), latency in µs",
 		*op, spec.Name, spec.Nodes, spec.PPN, spec.Ranks())
+	if *faultsFlag != "" {
+		title += fmt.Sprintf(", fault plan %q seed %d", *faultsFlag, *seed)
+	}
 	fmt.Print(bench.FormatTable(title, sizes, names, points))
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"github.com/hanrepro/han/internal/cluster"
 	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/fault"
 	"github.com/hanrepro/han/internal/han"
 	"github.com/hanrepro/han/internal/mpi"
 	"github.com/hanrepro/han/internal/rivals"
@@ -127,12 +128,34 @@ func ItersFor(size int) int {
 	}
 }
 
+// IMBOpts tunes an IMB run beyond the defaults: a fault plan to inject
+// (degraded-network experiments) and the RNG seed that, together with the
+// plan, fully determines the simulated times.
+type IMBOpts struct {
+	// Faults, when non-nil and non-zero, is attached to the world before
+	// ranks start.
+	Faults *fault.Plan
+	// Seed reseeds the world's RNG when non-zero (the default seed is 1).
+	Seed int64
+}
+
 // IMB runs the collective benchmark for one system over the given sizes on
 // spec, returning one point per size.
 func IMB(spec cluster.Spec, sys System, kind coll.Kind, sizes []int) []Point {
+	return IMBWith(spec, sys, kind, sizes, IMBOpts{})
+}
+
+// IMBWith is IMB with explicit run options.
+func IMBWith(spec cluster.Spec, sys System, kind coll.Kind, sizes []int, o IMBOpts) []Point {
 	points := make([]Point, len(sizes))
 	eng := sim.New()
 	w := mpi.NewWorld(cluster.NewMachine(eng, spec), sys.Pers)
+	if o.Seed != 0 {
+		w.Seed(o.Seed)
+	}
+	if o.Faults != nil && !o.Faults.IsZero() {
+		w.AttachFaults(*o.Faults)
+	}
 	ops := sys.Setup(w)
 	maxDur := make([][]float64, len(sizes)) // per size, per iteration
 	for i, size := range sizes {

@@ -1,0 +1,136 @@
+package coll
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/fault"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// The flat modules must stay bit-correct under the combined
+// drop+flap+straggler plan — HAN's graceful degradation leans on `tuned`
+// as the fallback, so the fallback itself has to survive chaos too.
+
+// runModChaos runs fn on every rank of a world with jitter and the combined
+// fault plan attached.
+func runModChaos(t *testing.T, spec cluster.Spec, seed int64, fn func(p *mpi.Proc)) {
+	t.Helper()
+	plan, err := fault.Builtin("combined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	pers := mpi.OpenMPI()
+	pers.Jitter = 0.05
+	w := mpi.NewWorld(cluster.NewMachine(eng, spec), pers)
+	w.Seed(seed)
+	w.AttachFaults(plan)
+	w.Start(fn)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModulesBitCorrectUnderChaos(t *testing.T) {
+	mods := []Module{NewLibnbc(), NewAdapt(), NewTuned()}
+	spec := cluster.Mini(2, 3)
+	size := spec.Ranks()
+	pr := Params{Seg: 1 << 10}
+	for _, mod := range mods {
+		mod := mod
+		t.Run(mod.Name(), func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				runModChaos(t, spec, seed, func(p *mpi.Proc) {
+					c := p.W.World()
+					me := c.Rank(p)
+					n := 4 << 10
+
+					// Bcast.
+					want := pattern(n, 3)
+					buf := make([]byte, n)
+					if me == 0 {
+						copy(buf, want)
+					}
+					p.Wait(mod.Ibcast(p, c, mpi.Bytes(buf), 0, pr))
+					if !bytes.Equal(buf, want) {
+						t.Errorf("%s seed %d rank %d: Bcast wrong under chaos", mod.Name(), seed, me)
+					}
+
+					// Reduce + Allreduce.
+					elems := 128
+					vals := make([]float64, elems)
+					for i := range vals {
+						vals[i] = float64(me + i)
+					}
+					sbuf := mpi.Bytes(mpi.EncodeFloat64s(vals))
+					check := func(op string, rb mpi.Buf) {
+						got := mpi.DecodeFloat64s(rb.B)
+						for i := range got {
+							want := float64(size*i) + float64(size*(size-1))/2
+							if got[i] != want {
+								t.Errorf("%s seed %d rank %d: %s elem %d = %v, want %v",
+									mod.Name(), seed, me, op, i, got[i], want)
+								return
+							}
+						}
+					}
+					rbuf := mpi.Bytes(make([]byte, sbuf.N))
+					p.Wait(mod.Ireduce(p, c, sbuf, rbuf, mpi.OpSum, mpi.Float64, 0, pr))
+					if me == 0 {
+						check("Reduce", rbuf)
+					}
+					abuf := mpi.Bytes(make([]byte, sbuf.N))
+					p.Wait(mod.Iallreduce(p, c, sbuf, abuf, mpi.OpSum, mpi.Float64, pr))
+					check("Allreduce", abuf)
+
+					// Gather / Scatter / Allgather, where supported.
+					blk := 512
+					mine := pattern(blk, byte(me))
+					if mod.Supports(Gather) {
+						gbuf := mpi.Bytes(make([]byte, size*blk))
+						p.Wait(mod.Igather(p, c, mpi.Bytes(mine), gbuf, 0, pr))
+						if me == 0 {
+							for r := 0; r < size; r++ {
+								if !bytes.Equal(gbuf.B[r*blk:(r+1)*blk], pattern(blk, byte(r))) {
+									t.Errorf("%s seed %d: Gather block %d wrong under chaos", mod.Name(), seed, r)
+									break
+								}
+							}
+						}
+					}
+					if mod.Supports(Scatter) {
+						var src mpi.Buf
+						if me == 0 {
+							all := make([]byte, size*blk)
+							for r := 0; r < size; r++ {
+								copy(all[r*blk:], pattern(blk, byte(50+r)))
+							}
+							src = mpi.Bytes(all)
+						} else {
+							src = mpi.Phantom(size * blk)
+						}
+						sout := mpi.Bytes(make([]byte, blk))
+						p.Wait(mod.Iscatter(p, c, src, sout, 0, pr))
+						if !bytes.Equal(sout.B, pattern(blk, byte(50+me))) {
+							t.Errorf("%s seed %d rank %d: Scatter block wrong under chaos", mod.Name(), seed, me)
+						}
+					}
+					if mod.Supports(Allgather) {
+						agbuf := mpi.Bytes(make([]byte, size*blk))
+						p.Wait(mod.Iallgather(p, c, mpi.Bytes(mine), agbuf, pr))
+						for r := 0; r < size; r++ {
+							if !bytes.Equal(agbuf.B[r*blk:(r+1)*blk], pattern(blk, byte(r))) {
+								t.Errorf("%s seed %d rank %d: Allgather block %d wrong under chaos",
+									mod.Name(), seed, me, r)
+								break
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}

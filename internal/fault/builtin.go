@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Builtin named plans, used by `hanbench -faults <name>`, the chaos test
+// suite, and the CI fault matrix. Times are in simulated seconds and sized
+// for collective benchmarks that complete within a few hundred
+// milliseconds; the windows open immediately so even microsecond-scale
+// runs are exercised.
+var builtins = map[string]Plan{
+	// drops: a lossy fabric — every eager payload has a 20% chance of
+	// vanishing for the whole run.
+	"drops": {
+		Drops: DropSpec{Prob: 0.2},
+	},
+	// flaps: node 0's outbound NIC and node 1's inbound NIC repeatedly
+	// degrade to 10% capacity, plus one memory-bus brownout on node 0.
+	"flaps": {
+		Flaps: []LinkFlap{
+			{Node: 0, Link: LinkNICOut, At: 10e-6, Duration: 200e-6, Factor: 0.1, Repeat: 500e-6, Count: 200},
+			{Node: 1, Link: LinkNICIn, At: 120e-6, Duration: 150e-6, Factor: 0.1, Repeat: 400e-6, Count: 200},
+			{Node: 0, Link: LinkMemBus, At: 50e-6, Duration: 1e-3, Factor: 0.25},
+		},
+	},
+	// stragglers: ranks 0 and 3 suffer repeated 8× overhead bursts —
+	// the OS-noise model.
+	"stragglers": {
+		Stragglers: []Straggler{
+			{Rank: 0, At: 5e-6, Duration: 100e-6, Factor: 8, Repeat: 300e-6, Count: 300},
+			{Rank: 3, At: 60e-6, Duration: 80e-6, Factor: 8, Repeat: 250e-6, Count: 300},
+		},
+	},
+	// combined: everything at once, at gentler intensities.
+	"combined": {
+		Drops: DropSpec{Prob: 0.1},
+		Flaps: []LinkFlap{
+			{Node: 0, Link: LinkNICOut, At: 20e-6, Duration: 150e-6, Factor: 0.2, Repeat: 600e-6, Count: 150},
+		},
+		Stragglers: []Straggler{
+			{Rank: 1, At: 10e-6, Duration: 90e-6, Factor: 6, Repeat: 350e-6, Count: 200},
+		},
+	},
+	// none: the all-zero plan; attaching it must not perturb a run.
+	"none": {},
+}
+
+// Builtin returns the named built-in plan.
+func Builtin(name string) (Plan, error) {
+	p, ok := builtins[name]
+	if !ok {
+		return Plan{}, fmt.Errorf("fault: unknown built-in plan %q (have %s)", name, strings.Join(BuiltinNames(), ", "))
+	}
+	return p, nil
+}
+
+// BuiltinNames lists the built-in plan names, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+func testRand(seed int64) func() float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64
+}
+
+func TestZeroPlanInstallsNothing(t *testing.T) {
+	eng := sim.New()
+	m := cluster.NewMachine(eng, cluster.Mini(2, 2))
+	in := NewInjector(Plan{}, testRand(1))
+	in.Install(m)
+	if in.DropsEnabled() {
+		t.Fatal("zero plan reports drops enabled")
+	}
+	if s := in.OverheadScale(0); s != 1 {
+		t.Fatalf("zero plan overhead scale = %v, want 1", s)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != 0 {
+		t.Fatalf("zero plan advanced the clock to %v", eng.Now())
+	}
+}
+
+func TestFlapDegradesAndRestores(t *testing.T) {
+	eng := sim.New()
+	m := cluster.NewMachine(eng, cluster.Mini(2, 2))
+	base := m.NICOut(0).Capacity
+	plan := Plan{Flaps: []LinkFlap{{Node: 0, Link: LinkNICOut, At: 1e-3, Duration: 1e-3, Factor: 0.5, Repeat: 3e-3, Count: 2}}}
+	NewInjector(plan, testRand(1)).Install(m)
+	var during, between, after float64
+	eng.At(1.5e-3, func() { during = m.NICOut(0).Capacity })
+	eng.At(2.5e-3, func() { between = m.NICOut(0).Capacity })
+	eng.At(5.5e-3, func() { after = m.NICOut(0).Capacity })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if during != base*0.5 {
+		t.Fatalf("capacity during flap = %v, want %v", during, base*0.5)
+	}
+	if between != base || after != base {
+		t.Fatalf("capacity between/after = %v/%v, want %v", between, after, base)
+	}
+}
+
+func TestStragglerScalesOverheads(t *testing.T) {
+	eng := sim.New()
+	m := cluster.NewMachine(eng, cluster.Mini(2, 2))
+	plan := Plan{Stragglers: []Straggler{{Rank: 2, At: 1e-3, Duration: 1e-3, Factor: 8}}}
+	in := NewInjector(plan, testRand(1))
+	in.Install(m)
+	var during, after, other float64
+	eng.At(1.5e-3, func() { during = in.OverheadScale(2); other = in.OverheadScale(0) })
+	eng.At(2.5e-3, func() { after = in.OverheadScale(2) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if during != 8 || other != 1 || after != 1 {
+		t.Fatalf("scales during/other/after = %v/%v/%v, want 8/1/1", during, other, after)
+	}
+}
+
+func TestDropEagerWindowAndCap(t *testing.T) {
+	in := NewInjector(Plan{Drops: DropSpec{Prob: 0.999999, MaxPerMsg: 3, From: 1, Until: 2}}, testRand(1))
+	if in.DropEager(0.5, 0) {
+		t.Fatal("drop before window opened")
+	}
+	if in.DropEager(2.5, 0) {
+		t.Fatal("drop after window closed")
+	}
+	if !in.DropEager(1.5, 0) {
+		t.Fatal("in-window near-certain drop did not happen")
+	}
+	if in.DropEager(1.5, 3) {
+		t.Fatal("drop past MaxPerMsg cap")
+	}
+}
+
+func TestRTOBackoff(t *testing.T) {
+	in := NewInjector(Plan{Drops: DropSpec{Prob: 0.1, RTO: 1e-4}}, testRand(1))
+	if got := in.RTO(0); got != 1e-4 {
+		t.Fatalf("RTO(0) = %v, want 1e-4", got)
+	}
+	if got := in.RTO(3); got != 8e-4 {
+		t.Fatalf("RTO(3) = %v, want 8e-4", got)
+	}
+	if got := in.RTO(50); got != 64e-4 {
+		t.Fatalf("RTO(50) = %v, want capped 64e-4", got)
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	bad := []Plan{
+		{Drops: DropSpec{Prob: 1.5}},
+		{Flaps: []LinkFlap{{Link: "warp-core", At: 0, Duration: 1, Factor: 0.5}}},
+		{Flaps: []LinkFlap{{Link: LinkNICIn, At: 0, Duration: 1, Factor: 0}}},
+		{Stragglers: []Straggler{{Rank: -1, At: 0, Duration: 1, Factor: 2}}},
+		{Stragglers: []Straggler{{Rank: 0, At: 0, Duration: 0, Factor: 2}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("plan %d validated but should not have", i)
+		}
+	}
+}
+
+func TestBuiltinPlans(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		p, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("builtin %q invalid: %v", name, err)
+		}
+		if name == "none" && !p.IsZero() {
+			t.Fatal("builtin none is not the zero plan")
+		}
+	}
+	if _, err := Builtin("nope"); err == nil {
+		t.Fatal("unknown builtin did not error")
+	}
+}

@@ -144,6 +144,24 @@ func (n *Network) NewResource(name string, capacity float64) *Resource {
 	return &Resource{Name: name, Capacity: capacity}
 }
 
+// SetCapacity changes a resource's capacity mid-run (link degradation,
+// recovery) and incrementally rebalances the flows crossing it: every flow
+// in the resource's connected component is brought up to date under its old
+// rate, then rates and completion timers are recomputed under the new
+// capacity. A resource with no active flows just takes the new capacity.
+func (n *Network) SetCapacity(r *Resource, capacity float64) {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		panic(fmt.Sprintf("flow: resource %q capacity must be positive and finite, got %v", r.Name, capacity))
+	}
+	if capacity == r.Capacity {
+		return
+	}
+	r.Capacity = capacity
+	if len(r.flows) > 0 {
+		n.rebalance(r.flows[0])
+	}
+}
+
 // Start launches a transfer of the given size across path. A zero or
 // negative size completes at the current instant (its Done signal fires
 // immediately). The path must be non-empty for positive sizes.

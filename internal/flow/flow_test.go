@@ -342,3 +342,118 @@ func TestCrossComponentCoupling(t *testing.T) {
 		}
 	}
 }
+
+// Halving a link's capacity mid-flight halves the remaining transfer rate:
+// 100 B over a 100 B/s link, degraded to 50 B/s at t=0.5, finishes the
+// remaining 50 B in 1 s.
+func TestSetCapacityDegradesMidFlight(t *testing.T) {
+	e := sim.New()
+	n := NewNetwork(e)
+	r := n.NewResource("link", 100)
+	var end sim.Time
+	e.Spawn("xfer", func(p *sim.Proc) {
+		f := n.Start(100, r)
+		p.Wait(f.Done())
+		end = p.Now()
+	})
+	e.At(0.5, func() { n.SetCapacity(r, 50) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(end), 1.5) {
+		t.Fatalf("degraded transfer finished at %v, want 1.5", end)
+	}
+}
+
+// A full flap — degrade then restore — only slows the window in between.
+// 200 B at 100 B/s, degraded to 25 B/s over [0.5, 1.5), restored after:
+// 50 B + 25 B + 125 B take 0.5 + 1.0 + 1.25 = 2.75 s.
+func TestSetCapacityFlapRestores(t *testing.T) {
+	e := sim.New()
+	n := NewNetwork(e)
+	r := n.NewResource("link", 100)
+	var end sim.Time
+	e.Spawn("xfer", func(p *sim.Proc) {
+		f := n.Start(200, r)
+		p.Wait(f.Done())
+		end = p.Now()
+	})
+	e.At(0.5, func() { n.SetCapacity(r, 25) })
+	e.At(1.5, func() { n.SetCapacity(r, 100) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(end), 2.75) {
+		t.Fatalf("flapped transfer finished at %v, want 2.75", end)
+	}
+}
+
+// SetCapacity on an idle resource just records the new capacity; flows
+// started afterwards see it.
+func TestSetCapacityIdleResource(t *testing.T) {
+	e := sim.New()
+	n := NewNetwork(e)
+	r := n.NewResource("link", 100)
+	n.SetCapacity(r, 10)
+	if r.Capacity != 10 {
+		t.Fatalf("capacity = %v, want 10", r.Capacity)
+	}
+	var end sim.Time
+	e.Spawn("xfer", func(p *sim.Proc) {
+		f := n.Start(10, r)
+		p.Wait(f.Done())
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(float64(end), 1.0) {
+		t.Fatalf("transfer finished at %v, want 1.0", end)
+	}
+}
+
+// Capacity mutation must stay bit-identical across the two allocators.
+func TestSetCapacityDifferential(t *testing.T) {
+	run := func(a Allocator) []sim.Time {
+		e := sim.New()
+		n := NewNetwork(e)
+		n.SetAllocator(a)
+		r1 := n.NewResource("r1", 100)
+		r2 := n.NewResource("r2", 80)
+		ends := make([]sim.Time, 3)
+		e.Spawn("a", func(p *sim.Proc) { f := n.Start(100, r1); p.Wait(f.Done()); ends[0] = p.Now() })
+		e.Spawn("b", func(p *sim.Proc) { f := n.Start(150, r1, r2); p.Wait(f.Done()); ends[1] = p.Now() })
+		e.Spawn("c", func(p *sim.Proc) { f := n.Start(60, r2); p.Wait(f.Done()); ends[2] = p.Now() })
+		e.At(0.3, func() { n.SetCapacity(r1, 40) })
+		e.At(0.9, func() { n.SetCapacity(r2, 160) })
+		e.At(1.4, func() { n.SetCapacity(r1, 100) })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ends
+	}
+	inc := run(Incremental)
+	ref := run(Reference)
+	for i := range inc {
+		if inc[i] != ref[i] {
+			t.Fatalf("flow %d: incremental end %v != reference end %v", i, inc[i], ref[i])
+		}
+	}
+}
+
+// Rejecting bad capacities keeps the degenerate-rate invariant intact.
+func TestSetCapacityRejectsNonPositive(t *testing.T) {
+	e := sim.New()
+	n := NewNetwork(e)
+	r := n.NewResource("link", 100)
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetCapacity(%v) did not panic", bad)
+				}
+			}()
+			n.SetCapacity(r, bad)
+		}()
+	}
+}

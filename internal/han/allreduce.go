@@ -18,33 +18,38 @@ import (
 // inter-node reduce and broadcast use the same root and algorithm so their
 // traffic can overlap on the full-duplex fabric (section III-B1). The
 // operation must be commutative. Results land in rbuf on every rank.
-func (h *HAN) Allreduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) {
+//
+// A *BufferSizeError is returned on mismatched buffers; a *FallbackError
+// notes a degraded (flat) path that still completed correctly.
+func (h *HAN) Allreduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) error {
 	w := h.W
 	if sbuf.N != rbuf.N {
-		panic("han: Allreduce buffer size mismatch")
+		return &BufferSizeError{Op: "Allreduce", Got: rbuf.N, Want: sbuf.N}
 	}
 	if sbuf.N == 0 {
-		return
+		return nil
 	}
 	if w.Size() == 1 {
 		rbuf.CopyFrom(sbuf)
-		return
+		return nil
 	}
 	cfg = h.resolve(coll.Allreduce, sbuf.N, cfg)
-	defer h.span(p, "han.Allreduce", sbuf.N)()
+	defer h.span(p, w.World(), "han.Allreduce", sbuf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
 	iAmLeader := mach.IsNodeLeader(p.Rank)
 	segs := segments(sbuf.N, cfg.FS)
 	u := len(segs)
 
-	// Single-node world: intra-node allreduce per segment.
+	// Single-node world: no inter-node level exists, so run the intra-node
+	// flat path and note the degradation.
 	if mach.Spec.Nodes == 1 {
 		mod := h.Mods.Intra(cfg.SMod)
 		for _, s := range segs {
 			p.Wait(mod.Iallreduce(p, node, sbuf.Slice(s.Lo, s.Hi), rbuf.Slice(s.Lo, s.Hi), op, dt, coll.Params{}))
 		}
-		return
+		return h.fallback(p, "Allreduce", "intra-node "+cfg.SMod,
+			&HierarchyError{Op: "Allreduce", Reason: "single-node world"})
 	}
 
 	// Four-stage pipeline: at step t, segment t enters sr while segments
@@ -73,4 +78,5 @@ func (h *HAN) Allreduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datat
 		}
 		p.Wait(reqs...)
 	}
+	return nil
 }

@@ -16,13 +16,16 @@ import (
 // execute sb(0) … sb(u-1). Passing the zero Config lets the decision
 // function (autotuned or default) pick the configuration. root is a world
 // rank.
-func (h *HAN) Bcast(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) {
+//
+// The broadcast always completes correctly; a non-nil return is a
+// *FallbackError note recording that a degraded (flat) path was used.
+func (h *HAN) Bcast(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) error {
 	w := h.W
 	if w.Size() == 1 || buf.N == 0 {
-		return
+		return nil
 	}
 	cfg = h.resolve(coll.Bcast, buf.N, cfg)
-	defer h.span(p, "han.Bcast", buf.N)()
+	defer h.span(p, w.World(), "han.Bcast", buf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
 	rootNode := mach.NodeOf(root)
@@ -31,14 +34,16 @@ func (h *HAN) Bcast(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) {
 	iAmLeader := mach.IsNodeLeader(me)
 	segs := segments(buf.N, cfg.FS)
 
-	// Single-node world: intra-node broadcasts only.
+	// Single-node world: no inter-node level exists, so run the intra-node
+	// flat path and note the degradation.
 	if mach.Spec.Nodes == 1 {
 		mod := h.Mods.Intra(cfg.SMod)
 		rootLocal := node.RankOfWorld(root)
 		for _, s := range segs {
 			p.Wait(mod.Ibcast(p, node, buf.Slice(s.Lo, s.Hi), rootLocal, coll.Params{}))
 		}
-		return
+		return h.fallback(p, "Bcast", "intra-node "+cfg.SMod,
+			&HierarchyError{Op: "Bcast", Reason: "single-node world"})
 	}
 
 	// When the root is not its node's leader, it feeds segments to the
@@ -73,13 +78,14 @@ func (h *HAN) Bcast(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) {
 			prevSB = h.SB(p, node, buf.Slice(s.Lo, s.Hi), cfg)
 		}
 		p.Wait(prevSB) // trailing sb(u-1)
-		return
+		return nil
 	}
 
 	// Non-leaders (including a non-leader root): sb(0) … sb(u-1).
 	for _, s := range segs {
 		p.Wait(h.SB(p, node, buf.Slice(s.Lo, s.Hi), cfg))
 	}
+	return nil
 }
 
 // segments splits [0, n) into chunks of at most seg bytes (seg <= 0 means a

@@ -1,0 +1,220 @@
+package han
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/fault"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// This file is the chaos suite: every HAN collective must stay bit-correct
+// when the network drops eager payloads, links flap, ranks straggle, and
+// latency jitters — and the whole mess must be reproducible from (seed,
+// plan) alone.
+
+// runChaos builds a world on spec with a jittery personality and the given
+// seed, optionally attaches a fault plan (nil = plan-free run), runs fn on
+// every rank, and returns the finish time.
+func runChaos(t *testing.T, spec cluster.Spec, seed int64, plan *fault.Plan, fn func(h *HAN, p *mpi.Proc)) sim.Time {
+	t.Helper()
+	eng := sim.New()
+	pers := mpi.OpenMPI()
+	pers.Jitter = 0.05
+	w := mpi.NewWorld(cluster.NewMachine(eng, spec), pers)
+	w.Seed(seed)
+	if plan != nil {
+		w.AttachFaults(*plan)
+	}
+	h := New(w)
+	w.Start(func(p *mpi.Proc) { fn(h, p) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return eng.Now()
+}
+
+// degradedOK fails the test on any error that is not a graceful-degradation
+// note.
+func degradedOK(t *testing.T, p *mpi.Proc, op string, err error) {
+	t.Helper()
+	var fb *FallbackError
+	if err != nil && !errors.As(err, &fb) {
+		t.Errorf("rank %d: %s: %v", p.Rank, op, err)
+	}
+}
+
+// chaosBody runs every HAN collective back to back and verifies each one's
+// payload bit-for-bit. Message and segment sizes keep the traffic eager so
+// the drop/retransmit path is exercised.
+func chaosBody(t *testing.T) func(h *HAN, p *mpi.Proc) {
+	return func(h *HAN, p *mpi.Proc) {
+		cfg := Config{FS: 2 << 10}
+		n := 6 << 10
+		size := h.W.Size()
+
+		// Bcast from a non-leader root.
+		want := pattern(n, 5)
+		buf := make([]byte, n)
+		if p.Rank == 1 {
+			copy(buf, want)
+		}
+		degradedOK(t, p, "Bcast", h.Bcast(p, mpi.Bytes(buf), 1, cfg))
+		if !bytes.Equal(buf, want) {
+			t.Errorf("rank %d: Bcast payload wrong under faults", p.Rank)
+		}
+
+		// Allreduce (sum of float64s).
+		elems := 256
+		vals := make([]float64, elems)
+		for i := range vals {
+			vals[i] = float64(p.Rank + i)
+		}
+		sbuf := mpi.Bytes(mpi.EncodeFloat64s(vals))
+		rbuf := mpi.Bytes(make([]byte, sbuf.N))
+		degradedOK(t, p, "Allreduce", h.Allreduce(p, sbuf, rbuf, mpi.OpSum, mpi.Float64, cfg))
+		got := mpi.DecodeFloat64s(rbuf.B)
+		for i := range got {
+			want := float64(size*i) + float64(size*(size-1))/2
+			if got[i] != want {
+				t.Errorf("rank %d: Allreduce elem %d = %v, want %v", p.Rank, i, got[i], want)
+				break
+			}
+		}
+
+		// Reduce to a non-leader root.
+		root := 2
+		r2 := mpi.Bytes(make([]byte, sbuf.N))
+		degradedOK(t, p, "Reduce", h.Reduce(p, sbuf, r2, mpi.OpSum, mpi.Float64, root, cfg))
+		if p.Rank == root {
+			got := mpi.DecodeFloat64s(r2.B)
+			for i := range got {
+				want := float64(size*i) + float64(size*(size-1))/2
+				if got[i] != want {
+					t.Errorf("Reduce elem %d = %v, want %v", i, got[i], want)
+					break
+				}
+			}
+		}
+
+		// Gather to a non-leader root.
+		blk := 1 << 10
+		mine := pattern(blk, byte(p.Rank))
+		gbuf := mpi.Bytes(make([]byte, size*blk))
+		degradedOK(t, p, "Gather", h.Gather(p, mpi.Bytes(mine), gbuf, 3, cfg))
+		if p.Rank == 3 {
+			for r := 0; r < size; r++ {
+				if !bytes.Equal(gbuf.B[r*blk:(r+1)*blk], pattern(blk, byte(r))) {
+					t.Errorf("Gather block %d wrong under faults", r)
+					break
+				}
+			}
+		}
+
+		// Scatter from rank 0.
+		var src mpi.Buf
+		if p.Rank == 0 {
+			all := make([]byte, size*blk)
+			for r := 0; r < size; r++ {
+				copy(all[r*blk:], pattern(blk, byte(100+r)))
+			}
+			src = mpi.Bytes(all)
+		} else {
+			src = mpi.Phantom(size * blk)
+		}
+		sout := mpi.Bytes(make([]byte, blk))
+		degradedOK(t, p, "Scatter", h.Scatter(p, src, sout, 0, cfg))
+		if !bytes.Equal(sout.B, pattern(blk, byte(100+p.Rank))) {
+			t.Errorf("rank %d: Scatter block wrong under faults", p.Rank)
+		}
+
+		// Allgather.
+		abuf := mpi.Bytes(make([]byte, size*blk))
+		degradedOK(t, p, "Allgather", h.Allgather(p, mpi.Bytes(mine), abuf, cfg))
+		for r := 0; r < size; r++ {
+			if !bytes.Equal(abuf.B[r*blk:(r+1)*blk], pattern(blk, byte(r))) {
+				t.Errorf("rank %d: Allgather block %d wrong under faults", p.Rank, r)
+				break
+			}
+		}
+	}
+}
+
+// TestChaosCollectivesBitCorrect drives the full collective body under the
+// combined drop+flap+straggler plan across many seeds (testing/quick picks
+// them), asserting bit-correct payloads every time.
+func TestChaosCollectivesBitCorrect(t *testing.T) {
+	plan, err := fault.Builtin("combined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(s uint16) bool {
+		runChaos(t, cluster.Mini(2, 4), int64(s)+1, &plan, chaosBody(t))
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosEveryBuiltinPlan runs the collective body once under each named
+// plan — the CI fault matrix walks the same plans across more seeds.
+func TestChaosEveryBuiltinPlan(t *testing.T) {
+	for _, name := range fault.BuiltinNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			plan, err := fault.Builtin(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runChaos(t, cluster.Mini(2, 4), 1, &plan, chaosBody(t))
+		})
+	}
+}
+
+// TestFaultMatrix is the CI entry point: HAN_FAULT_PLAN and HAN_FAULT_SEED
+// select one cell of the seed x plan matrix. Each cell checks correctness
+// and that (seed, plan) fully determines the simulated finish time.
+func TestFaultMatrix(t *testing.T) {
+	name := os.Getenv("HAN_FAULT_PLAN")
+	if name == "" {
+		name = "combined"
+	}
+	seed := int64(1)
+	if s := os.Getenv("HAN_FAULT_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad HAN_FAULT_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	plan, err := fault.Builtin(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := runChaos(t, cluster.Mini(2, 4), seed, &plan, chaosBody(t))
+	b := runChaos(t, cluster.Mini(2, 4), seed, &plan, chaosBody(t))
+	if a != b {
+		t.Errorf("plan %s seed %d: two identical runs diverged: %v vs %v", name, seed, a, b)
+	}
+}
+
+// TestChaosZeroPlanDifferential pins the no-perturbation guarantee at the
+// collective level: attaching the all-zero plan leaves the finish time of
+// the full collective body byte-identical to a plan-free run.
+func TestChaosZeroPlanDifferential(t *testing.T) {
+	zero := fault.Plan{}
+	for _, seed := range []int64{1, 17} {
+		plain := runChaos(t, cluster.Mini(2, 4), seed, nil, chaosBody(t))
+		attached := runChaos(t, cluster.Mini(2, 4), seed, &zero, chaosBody(t))
+		if plain != attached {
+			t.Errorf("seed %d: zero plan changed finish time: %v vs %v", seed, plain, attached)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package han
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/mpi"
+)
+
+// The communicator-aware entry points must run the two-level pipeline on
+// regular sub-communicators and degrade — correctly, with a typed note — on
+// irregular ones.
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// runCommBcast broadcasts pattern bytes over the sub-communicator holding
+// the given world ranks and reports the error seen by each member.
+func runCommBcast(t *testing.T, members []int, root int) map[int]error {
+	t.Helper()
+	spec := cluster.Mini(3, 4)
+	n := 4 << 10
+	want := pattern(n, 9)
+	errs := make(map[int]error)
+	runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
+		if !contains(members, p.Rank) {
+			return
+		}
+		c := h.W.World().Sub("test:sub", members)
+		buf := make([]byte, n)
+		if c.Rank(p) == root {
+			copy(buf, want)
+		}
+		err := h.BcastComm(p, c, mpi.Bytes(buf), root, Config{FS: 1 << 10})
+		errs[p.Rank] = err
+		if !bytes.Equal(buf, want) {
+			t.Errorf("rank %d: BcastComm payload wrong", p.Rank)
+		}
+	})
+	return errs
+}
+
+// wantFallback asserts every member degraded with a *FallbackError whose
+// hierarchy cause mentions reason.
+func wantFallback(t *testing.T, errs map[int]error, reason string) {
+	t.Helper()
+	for r, err := range errs {
+		var fb *FallbackError
+		if !errors.As(err, &fb) {
+			t.Errorf("rank %d: err = %v, want *FallbackError", r, err)
+			continue
+		}
+		var he *HierarchyError
+		if !errors.As(err, &he) {
+			t.Errorf("rank %d: cause = %v, want *HierarchyError", r, fb.Cause)
+		}
+	}
+	if reason != "" {
+		for r, err := range errs {
+			var he *HierarchyError
+			if errors.As(err, &he) && he.Reason != reason {
+				t.Errorf("rank %d: reason = %q, want %q", r, he.Reason, reason)
+			}
+		}
+	}
+}
+
+func TestBcastCommRegularSubcomm(t *testing.T) {
+	// Two ranks on each of two nodes: regular, so the pipeline runs clean.
+	errs := runCommBcast(t, []int{0, 1, 4, 5}, 0)
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: unexpected error %v", r, err)
+		}
+	}
+}
+
+func TestBcastCommNonUniformPPNFallsBack(t *testing.T) {
+	// node0: {0,1}, node1: {4,5,6}, node2: {8} — non-uniform ppn.
+	errs := runCommBcast(t, []int{0, 1, 4, 5, 6, 8}, 0)
+	wantFallback(t, errs, "non-uniform ppn: node 0 has 2 ranks, node 1 has 3")
+}
+
+func TestBcastCommSingleNodeFallsBack(t *testing.T) {
+	errs := runCommBcast(t, []int{0, 1, 2}, 0)
+	wantFallback(t, errs, "all 3 ranks on one node")
+}
+
+func TestBcastCommNonLeaderRootFallsBack(t *testing.T) {
+	// Regular placement, but the root (comm rank 1, world rank 1) is not
+	// its node group's first member.
+	errs := runCommBcast(t, []int{0, 1, 4, 5}, 1)
+	wantFallback(t, errs, "root 1 is not a node leader within the communicator")
+}
+
+func TestAllreduceCommRegularAndIrregular(t *testing.T) {
+	cases := []struct {
+		name     string
+		members  []int
+		fallback bool
+	}{
+		{"regular", []int{0, 1, 4, 5, 8, 9}, false},
+		{"nonuniform", []int{0, 1, 4, 5, 6, 8}, true},
+		{"singlenode", []int{0, 1, 2, 3}, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			spec := cluster.Mini(3, 4)
+			elems := 300
+			sz := len(tc.members)
+			errs := make(map[int]error)
+			runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
+				if !contains(tc.members, p.Rank) {
+					return
+				}
+				c := h.W.World().Sub(fmt.Sprintf("test:ar-%s", tc.name), tc.members)
+				me := c.Rank(p)
+				vals := make([]float64, elems)
+				for i := range vals {
+					vals[i] = float64(me + i)
+				}
+				sbuf := mpi.Bytes(mpi.EncodeFloat64s(vals))
+				rbuf := mpi.Bytes(make([]byte, sbuf.N))
+				errs[p.Rank] = h.AllreduceComm(p, c, sbuf, rbuf, mpi.OpSum, mpi.Float64, Config{FS: 1 << 10})
+				got := mpi.DecodeFloat64s(rbuf.B)
+				for i := range got {
+					want := float64(sz*i) + float64(sz*(sz-1))/2
+					if got[i] != want {
+						t.Errorf("rank %d elem %d: got %v want %v", p.Rank, i, got[i], want)
+						break
+					}
+				}
+			})
+			for r, err := range errs {
+				var fb *FallbackError
+				if tc.fallback && !errors.As(err, &fb) {
+					t.Errorf("rank %d: err = %v, want *FallbackError", r, err)
+				}
+				if !tc.fallback && err != nil {
+					t.Errorf("rank %d: unexpected error %v", r, err)
+				}
+			}
+		})
+	}
+}
+
+func TestAllreduceCommBufferMismatch(t *testing.T) {
+	spec := cluster.Mini(2, 2)
+	runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
+		c := h.W.World().Sub("test:mismatch", []int{0, 1, 2, 3}).Dup()
+		err := h.AllreduceComm(p, c, mpi.Phantom(100), mpi.Phantom(50), mpi.OpSum, mpi.Float64, Config{})
+		var be *BufferSizeError
+		if !errors.As(err, &be) || be.Got != 50 || be.Want != 100 {
+			t.Errorf("rank %d: err = %v, want *BufferSizeError{Got:50, Want:100}", p.Rank, err)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package han
+
+import (
+	"fmt"
+
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/trace"
+)
+
+// HierarchyError reports why a communicator cannot be executed through the
+// two-level task pipeline: a single-node group, non-uniform processes per
+// node, or a root that is not a node leader. It is recoverable — HAN
+// responds by falling back to a flat collective, never by panicking.
+type HierarchyError struct {
+	Op     string
+	Reason string
+}
+
+func (e *HierarchyError) Error() string {
+	return fmt.Sprintf("han: %s: irregular hierarchy: %s", e.Op, e.Reason)
+}
+
+// BufferSizeError reports a caller-supplied buffer whose size does not
+// match what the collective requires. It is returned (not panicked) so an
+// application-level mistake surfaces through mpi.Run instead of killing
+// the simulation.
+type BufferSizeError struct {
+	Op        string
+	Got, Want int
+}
+
+func (e *BufferSizeError) Error() string {
+	return fmt.Sprintf("han: %s buffer is %d bytes, want %d", e.Op, e.Got, e.Want)
+}
+
+// FallbackError is a note, not a failure: the collective completed
+// correctly, but through a degraded path (typically the flat `tuned`
+// module or a lower-level HAN pipeline) because the hierarchy could not be
+// used — the paper's fallback semantics for irregular process placements.
+// Callers that only care about correctness may ignore it; callers that
+// care about the path taken can errors.As for it and inspect Cause.
+type FallbackError struct {
+	Op    string
+	To    string // the path used instead
+	Cause error  // why the hierarchy was unusable, often a *HierarchyError
+}
+
+func (e *FallbackError) Error() string {
+	s := fmt.Sprintf("han: %s degraded to %s", e.Op, e.To)
+	if e.Cause != nil {
+		s += ": " + e.Cause.Error()
+	}
+	return s
+}
+
+func (e *FallbackError) Unwrap() error { return e.Cause }
+
+// fallback records a trace note for the degraded path and returns the
+// typed FallbackError the collective hands back alongside its (correct)
+// result.
+func (h *HAN) fallback(p *mpi.Proc, op, to string, cause error) error {
+	if rec := h.W.Tracer; rec != nil {
+		rec.Record(trace.Event{
+			T: float64(p.Now()), Rank: p.Rank, Kind: trace.KindNote,
+			Name: op + "->" + to, Peer: -1,
+		})
+	}
+	return &FallbackError{Op: op, To: to, Cause: cause}
+}

@@ -1,8 +1,6 @@
 package han
 
 import (
-	"fmt"
-
 	"github.com/hanrepro/han/internal/coll"
 	"github.com/hanrepro/han/internal/mpi"
 )
@@ -25,17 +23,22 @@ func (h *HAN) interFor(k coll.Kind, cfg Config) coll.Module {
 
 // Reduce performs a hierarchical reduction to the world rank root: sr per
 // node, ir across leaders (pipelined over segments), and a final intra-node
-// hop when the root is not a node leader.
-func (h *HAN) Reduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, root int, cfg Config) {
+// hop when the root is not a node leader. A non-nil *FallbackError return
+// notes a degraded (flat) path that still completed correctly.
+func (h *HAN) Reduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, root int, cfg Config) error {
 	w := h.W
+	if p.Rank == root && rbuf.N != sbuf.N {
+		return &BufferSizeError{Op: "Reduce", Got: rbuf.N, Want: sbuf.N}
+	}
 	if sbuf.N == 0 {
-		return
+		return nil
 	}
 	if w.Size() == 1 {
 		rbuf.CopyFrom(sbuf)
-		return
+		return nil
 	}
 	cfg = h.resolve(coll.Reduce, sbuf.N, cfg)
+	defer h.span(p, w.World(), "han.Reduce", sbuf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
 	rootNode := mach.NodeOf(root)
@@ -50,7 +53,8 @@ func (h *HAN) Reduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype
 		for _, s := range segs {
 			p.Wait(mod.Ireduce(p, node, sbuf.Slice(s.Lo, s.Hi), rbuf.Slice(s.Lo, s.Hi), op, dt, rootLocal, coll.Params{}))
 		}
-		return
+		return h.fallback(p, "Reduce", "intra-node "+cfg.SMod,
+			&HierarchyError{Op: "Reduce", Reason: "single-node world"})
 	}
 
 	// Leaders accumulate node partials into a scratch that doubles as the
@@ -88,19 +92,21 @@ func (h *HAN) Reduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype
 			node.Recv(p, rbuf, 0, fwdTag)
 		}
 	}
+	return nil
 }
 
 // Gather collects each rank's sbuf block into rbuf at world rank root
 // (blocks laid out in world-rank order): intra-node gather to the leader,
 // inter-node gather of node blocks across leaders, and a final intra-node
 // hop when the root is not a leader.
-func (h *HAN) Gather(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int, cfg Config) {
+func (h *HAN) Gather(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int, cfg Config) error {
 	w := h.W
 	if w.Size() == 1 {
 		rbuf.CopyFrom(sbuf)
-		return
+		return nil
 	}
 	cfg = h.resolve(coll.Gather, sbuf.N, cfg)
+	defer h.span(p, w.World(), "han.Gather", sbuf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
 	ppn := mach.Spec.PPN
@@ -112,11 +118,12 @@ func (h *HAN) Gather(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int, cfg Config) {
 	inter := h.interFor(coll.Gather, cfg)
 
 	if p.Rank == root && rbuf.N != w.Size()*blk {
-		panic(fmt.Sprintf("han: Gather buffer %d bytes, want %d", rbuf.N, w.Size()*blk))
+		return &BufferSizeError{Op: "Gather", Got: rbuf.N, Want: w.Size() * blk}
 	}
 	if mach.Spec.Nodes == 1 {
 		p.Wait(intra.Igather(p, node, sbuf, rbuf, node.RankOfWorld(root), coll.Params{}))
-		return
+		return h.fallback(p, "Gather", "intra-node "+cfg.SMod,
+			&HierarchyError{Op: "Gather", Reason: "single-node world"})
 	}
 
 	// Stage 1: gather node blocks at leaders.
@@ -147,18 +154,20 @@ func (h *HAN) Gather(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int, cfg Config) {
 	if p.Rank == root && !rootIsLeader {
 		node.Recv(p, rbuf, 0, fwdTag)
 	}
+	return nil
 }
 
 // Scatter distributes root's rbuf-sized blocks of sbuf to every rank:
 // an intra-node hop from a non-leader root, an inter-node scatter of node
 // blocks, then an intra-node scatter.
-func (h *HAN) Scatter(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int, cfg Config) {
+func (h *HAN) Scatter(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int, cfg Config) error {
 	w := h.W
 	if w.Size() == 1 {
 		rbuf.CopyFrom(sbuf)
-		return
+		return nil
 	}
 	cfg = h.resolve(coll.Scatter, rbuf.N, cfg)
+	defer h.span(p, w.World(), "han.Scatter", rbuf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
 	ppn := mach.Spec.PPN
@@ -170,11 +179,12 @@ func (h *HAN) Scatter(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int, cfg Config) {
 	inter := h.interFor(coll.Scatter, cfg)
 
 	if p.Rank == root && sbuf.N != w.Size()*blk {
-		panic(fmt.Sprintf("han: Scatter buffer %d bytes, want %d", sbuf.N, w.Size()*blk))
+		return &BufferSizeError{Op: "Scatter", Got: sbuf.N, Want: w.Size() * blk}
 	}
 	if mach.Spec.Nodes == 1 {
 		p.Wait(intra.Iscatter(p, node, sbuf, rbuf, node.RankOfWorld(root), coll.Params{}))
-		return
+		return h.fallback(p, "Scatter", "intra-node "+cfg.SMod,
+			&HierarchyError{Op: "Scatter", Reason: "single-node world"})
 	}
 
 	const fwdTag = 4
@@ -199,18 +209,20 @@ func (h *HAN) Scatter(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int, cfg Config) {
 		p.Wait(inter.Iscatter(p, leaders, src, nodeBuf, rootNode, coll.Params{}))
 	}
 	p.Wait(intra.Iscatter(p, node, nodeBuf, rbuf, 0, coll.Params{}))
+	return nil
 }
 
 // Allgather concatenates every rank's sbuf into rbuf on all ranks: an
 // intra-node gather to leaders, a ring allgather across leaders, then an
 // intra-node broadcast of the full result.
-func (h *HAN) Allgather(p *mpi.Proc, sbuf, rbuf mpi.Buf, cfg Config) {
+func (h *HAN) Allgather(p *mpi.Proc, sbuf, rbuf mpi.Buf, cfg Config) error {
 	w := h.W
 	if w.Size() == 1 {
 		rbuf.CopyFrom(sbuf)
-		return
+		return nil
 	}
 	cfg = h.resolve(coll.Allgather, sbuf.N, cfg)
+	defer h.span(p, w.World(), "han.Allgather", sbuf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
 	ppn := mach.Spec.PPN
@@ -220,12 +232,13 @@ func (h *HAN) Allgather(p *mpi.Proc, sbuf, rbuf mpi.Buf, cfg Config) {
 	inter := h.interFor(coll.Allgather, cfg)
 
 	if rbuf.N != w.Size()*blk {
-		panic(fmt.Sprintf("han: Allgather buffer %d bytes, want %d", rbuf.N, w.Size()*blk))
+		return &BufferSizeError{Op: "Allgather", Got: rbuf.N, Want: w.Size() * blk}
 	}
 	if mach.Spec.Nodes == 1 {
 		p.Wait(intra.Igather(p, node, sbuf, rbuf, 0, coll.Params{}))
 		p.Wait(intra.Ibcast(p, node, rbuf, 0, coll.Params{}))
-		return
+		return h.fallback(p, "Allgather", "intra-node "+cfg.SMod,
+			&HierarchyError{Op: "Allgather", Reason: "single-node world"})
 	}
 
 	nodeBuf := allocLike(mpi.Phantom(ppn * blk))
@@ -237,6 +250,7 @@ func (h *HAN) Allgather(p *mpi.Proc, sbuf, rbuf mpi.Buf, cfg Config) {
 		p.Wait(inter.Iallgather(p, leaders, nodeBuf, rbuf, coll.Params{}))
 	}
 	p.Wait(intra.Ibcast(p, node, rbuf, 0, coll.Params{}))
+	return nil
 }
 
 // allocLike returns a scratch buffer matching b's size and realness.

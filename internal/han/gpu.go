@@ -1,6 +1,8 @@
 package han
 
 import (
+	"fmt"
+
 	"github.com/hanrepro/han/internal/coll"
 	"github.com/hanrepro/han/internal/mpi"
 )
@@ -59,19 +61,31 @@ func (h *HAN) h2dAsync(p *mpi.Proc, n int) *mpi.Request {
 // root: the root leader stages each segment to the host, the inter-node
 // submodule moves it between node leaders, and the GPU submodule fans it
 // out over NVLink — three pipelined stages per segment.
-func (h *HAN) BcastGPU(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) {
+//
+// On a machine without GPUs, or with a root that is not a node leader, the
+// GPU pipeline is unusable; BcastGPU degrades to the two-level CPU Bcast
+// and returns a *FallbackError note.
+func (h *HAN) BcastGPU(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) error {
 	w := h.W
 	if !w.Mach.Spec.HasGPUs() {
-		panic("han: BcastGPU on a machine without GPUs")
+		if err := h.Bcast(p, buf, root, cfg); err != nil {
+			return err
+		}
+		return h.fallback(p, "BcastGPU", "two-level Bcast",
+			&HierarchyError{Op: "BcastGPU", Reason: "machine has no GPUs"})
 	}
 	if !w.Mach.IsNodeLeader(root) {
-		panic("han: BcastGPU requires a node-leader root")
+		if err := h.Bcast(p, buf, root, cfg); err != nil {
+			return err
+		}
+		return h.fallback(p, "BcastGPU", "two-level Bcast",
+			&HierarchyError{Op: "BcastGPU", Reason: fmt.Sprintf("root %d is not a node leader", root)})
 	}
 	if buf.N == 0 || w.Size() == 1 {
-		return
+		return nil
 	}
 	cfg = h.resolve(coll.Bcast, buf.N, cfg)
-	defer h.span(p, "han.BcastGPU", buf.N)()
+	defer h.span(p, w.World(), "han.BcastGPU", buf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
 	rootNode := mach.NodeOf(root)
@@ -119,29 +133,34 @@ func (h *HAN) BcastGPU(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) {
 		}
 		p.Wait(reqs...)
 	}
+	return nil
 }
 
 // AllreduceGPU reduces GPU-resident buffers across the whole world: an
 // NVLink reduction per node, host staging, the split ir/ib inter-node
 // exchange, and an NVLink broadcast — six pipelined stages per segment.
 // Results land in rbuf (device-resident) on every rank.
-func (h *HAN) AllreduceGPU(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) {
+func (h *HAN) AllreduceGPU(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) error {
 	w := h.W
-	if !w.Mach.Spec.HasGPUs() {
-		panic("han: AllreduceGPU on a machine without GPUs")
-	}
 	if sbuf.N != rbuf.N {
-		panic("han: AllreduceGPU buffer size mismatch")
+		return &BufferSizeError{Op: "AllreduceGPU", Got: rbuf.N, Want: sbuf.N}
+	}
+	if !w.Mach.Spec.HasGPUs() {
+		if err := h.Allreduce(p, sbuf, rbuf, op, dt, cfg); err != nil {
+			return err
+		}
+		return h.fallback(p, "AllreduceGPU", "two-level Allreduce",
+			&HierarchyError{Op: "AllreduceGPU", Reason: "machine has no GPUs"})
 	}
 	if sbuf.N == 0 {
-		return
+		return nil
 	}
 	if w.Size() == 1 {
 		rbuf.CopyFrom(sbuf)
-		return
+		return nil
 	}
 	cfg = h.resolve(coll.Allreduce, sbuf.N, cfg)
-	defer h.span(p, "han.AllreduceGPU", sbuf.N)()
+	defer h.span(p, w.World(), "han.AllreduceGPU", sbuf.N)()
 	node, leaders := h.comms(p)
 	isLeader := w.Mach.IsNodeLeader(p.Rank)
 	segs := segments(sbuf.N, cfg.FS)
@@ -178,4 +197,5 @@ func (h *HAN) AllreduceGPU(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Da
 		}
 		p.Wait(reqs...)
 	}
+	return nil
 }

@@ -2,6 +2,7 @@ package han
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"github.com/hanrepro/han/internal/cluster"
@@ -68,15 +69,21 @@ func TestAllreduceGPUCorrect(t *testing.T) {
 	})
 }
 
-func TestGPUOnGPUlessMachinePanics(t *testing.T) {
+// On a machine without GPUs the GPU collectives degrade to the two-level
+// CPU pipeline instead of failing, and say so via a *FallbackError note.
+func TestGPUOnGPUlessMachineFallsBack(t *testing.T) {
 	spec := cluster.Mini(2, 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
 	runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
-		h.BcastGPU(p, mpi.Phantom(100), 0, Config{FS: 100})
+		err := h.BcastGPU(p, mpi.Phantom(100), 0, Config{FS: 100})
+		var fb *FallbackError
+		if !errors.As(err, &fb) {
+			t.Errorf("rank %d: err = %v, want *FallbackError", p.Rank, err)
+			return
+		}
+		var he *HierarchyError
+		if !errors.As(err, &he) || he.Reason != "machine has no GPUs" {
+			t.Errorf("rank %d: cause = %v, want missing-GPUs HierarchyError", p.Rank, fb.Cause)
+		}
 	})
 }
 

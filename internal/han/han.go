@@ -75,6 +75,10 @@ type Modules struct {
 	SM     *coll.SM
 	SOLO   *coll.SOLO
 	CUDA   *coll.CUDA
+	// Tuned is the flat (topology-unaware) module HAN degrades to when a
+	// communicator's hierarchy is unusable — the paper's fallback semantics
+	// for irregular process placements.
+	Tuned *coll.Tuned
 }
 
 // NewModules returns a fresh set of submodule instances.
@@ -85,6 +89,7 @@ func NewModules() *Modules {
 		SM:     coll.NewSM(),
 		SOLO:   coll.NewSOLO(),
 		CUDA:   coll.NewCUDA(),
+		Tuned:  coll.NewTuned(),
 	}
 }
 
@@ -237,15 +242,19 @@ func (h *HAN) traced(p *mpi.Proc, name string, size int, req *mpi.Request) *mpi.
 	return req
 }
 
-// span brackets a whole collective with trace events; the returned func
-// closes the span.
-func (h *HAN) span(p *mpi.Proc, name string, size int) func() {
+// span brackets a whole collective with trace events and registers it with
+// the world's progress watchdog (when one is armed via SetCollTimeout);
+// the returned func closes the span. With no tracer and no watchdog it is
+// free.
+func (h *HAN) span(p *mpi.Proc, c *mpi.Comm, name string, size int) func() {
+	endWatch := h.W.CollBegin(p.Rank, c, name)
 	rec := h.W.Tracer
 	if rec == nil {
-		return func() {}
+		return endWatch
 	}
 	rec.Record(trace.Event{T: float64(p.Now()), Rank: p.Rank, Kind: trace.KindCollBegin, Name: name, Size: size, Peer: -1})
 	return func() {
+		endWatch()
 		rec.Record(trace.Event{T: float64(p.Now()), Rank: p.Rank, Kind: trace.KindCollEnd, Name: name, Size: size, Peer: -1})
 	}
 }

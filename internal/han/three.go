@@ -1,6 +1,8 @@
 package han
 
 import (
+	"fmt"
+
 	"github.com/hanrepro/han/internal/coll"
 	"github.com/hanrepro/han/internal/mpi"
 )
@@ -40,23 +42,28 @@ func (h *HAN) NR(p *mpi.Proc, sockLeaders *mpi.Comm, sseg, rseg mpi.Buf, op mpi.
 //	socket leaders:         nb(i-1) ∥ sb(i-2)
 //	other ranks:                      sb(i-2)
 //
-// root must currently be a node leader (world rank multiple of PPN); the
-// general-root shuffle of the two-level Bcast applies unchanged and is
-// omitted here for clarity.
-func (h *HAN) Bcast3(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) {
+// The three-level pipeline needs a node-leader root (world rank multiple
+// of PPN); with any other root the general-root shuffle of the two-level
+// Bcast already applies, so Bcast3 degrades to it and returns a
+// *FallbackError note instead of failing.
+func (h *HAN) Bcast3(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) error {
 	w := h.W
 	mach := w.Mach
 	if !mach.Spec.MultiSocket() {
-		h.Bcast(p, buf, root, cfg)
-		return
+		return h.Bcast(p, buf, root, cfg)
 	}
 	if !mach.IsNodeLeader(root) {
-		panic("han: Bcast3 requires a node-leader root")
+		if err := h.Bcast(p, buf, root, cfg); err != nil {
+			return err
+		}
+		return h.fallback(p, "Bcast3", "two-level Bcast",
+			&HierarchyError{Op: "Bcast3", Reason: fmt.Sprintf("root %d is not a node leader", root)})
 	}
 	if buf.N == 0 || w.Size() == 1 {
-		return
+		return nil
 	}
 	cfg = h.resolve(coll.Bcast, buf.N, cfg)
+	defer h.span(p, w.World(), "han.Bcast3", buf.N)()
 	segs := segments(buf.N, cfg.FS)
 	u := len(segs)
 
@@ -85,29 +92,30 @@ func (h *HAN) Bcast3(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) {
 		}
 		p.Wait(reqs...)
 	}
+	return nil
 }
 
 // Allreduce3 performs a three-level hierarchical allreduce with a six-stage
 // segment pipeline (sr, nr, ir, ib, nb, sb). The operation must be
 // commutative; results land in rbuf on every rank.
-func (h *HAN) Allreduce3(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) {
+func (h *HAN) Allreduce3(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) error {
 	w := h.W
 	mach := w.Mach
 	if !mach.Spec.MultiSocket() {
-		h.Allreduce(p, sbuf, rbuf, op, dt, cfg)
-		return
+		return h.Allreduce(p, sbuf, rbuf, op, dt, cfg)
 	}
 	if sbuf.N != rbuf.N {
-		panic("han: Allreduce3 buffer size mismatch")
+		return &BufferSizeError{Op: "Allreduce3", Got: rbuf.N, Want: sbuf.N}
 	}
 	if sbuf.N == 0 {
-		return
+		return nil
 	}
 	if w.Size() == 1 {
 		rbuf.CopyFrom(sbuf)
-		return
+		return nil
 	}
 	cfg = h.resolve(coll.Allreduce, sbuf.N, cfg)
+	defer h.span(p, w.World(), "han.Allreduce3", sbuf.N)()
 	segs := segments(sbuf.N, cfg.FS)
 	u := len(segs)
 
@@ -153,4 +161,5 @@ func (h *HAN) Allreduce3(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Data
 		}
 		p.Wait(reqs...)
 	}
+	return nil
 }

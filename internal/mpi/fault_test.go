@@ -1,0 +1,171 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/fault"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// runFault builds a world on spec with a jittery personality, seeds it,
+// optionally attaches a fault plan (nil = plan-free run), runs fn on every
+// rank, and returns the finish time.
+func runFault(t *testing.T, spec cluster.Spec, seed int64, plan *fault.Plan, fn func(p *Proc)) sim.Time {
+	t.Helper()
+	eng := sim.New()
+	pers := OpenMPI()
+	pers.Jitter = 0.05
+	w := NewWorld(cluster.NewMachine(eng, spec), pers)
+	w.Seed(seed)
+	if plan != nil {
+		w.AttachFaults(*plan)
+	}
+	w.Start(fn)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return eng.Now()
+}
+
+// burst sends count eager messages rank 0 -> rank 3 and verifies every
+// payload arrives intact.
+func burst(t *testing.T, count, n int) func(p *Proc) {
+	return func(p *Proc) {
+		c := p.W.World()
+		switch p.Rank {
+		case 0:
+			for i := 0; i < count; i++ {
+				c.Send(p, Bytes(pattern(n, byte(i))), 3, i)
+			}
+		case 3:
+			for i := 0; i < count; i++ {
+				buf := make([]byte, n)
+				c.Recv(p, Bytes(buf), 0, i)
+				if !bytes.Equal(buf, pattern(n, byte(i))) {
+					t.Errorf("message %d corrupted after retransmit", i)
+				}
+			}
+		}
+	}
+}
+
+func pattern(n int, salt byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*11 + salt
+	}
+	return b
+}
+
+// Dropped eager payloads must be retransmitted until delivery, and the
+// retries must cost time: a lossy run delivers the same bytes later than a
+// clean one.
+func TestEagerDropsRetransmitDelivers(t *testing.T) {
+	plan := fault.Plan{Drops: fault.DropSpec{Prob: 0.5}}
+	clean := runFault(t, cluster.Mini(2, 2), 7, nil, burst(t, 50, 512))
+	lossy := runFault(t, cluster.Mini(2, 2), 7, &plan, burst(t, 50, 512))
+	if lossy <= clean {
+		t.Errorf("lossy run (%v) should finish after clean run (%v)", lossy, clean)
+	}
+}
+
+// Rendezvous messages bypass the eager drop model entirely: a drops-only
+// plan must not change a rendezvous-sized transfer at all.
+func TestRendezvousUnaffectedByDrops(t *testing.T) {
+	plan := fault.Plan{Drops: fault.DropSpec{Prob: 0.9}}
+	big := OpenMPI().EagerThreshold * 4
+	clean := runFault(t, cluster.Mini(2, 2), 3, nil, burst(t, 4, big))
+	lossy := runFault(t, cluster.Mini(2, 2), 3, &plan, burst(t, 4, big))
+	if clean != lossy {
+		t.Errorf("rendezvous times diverged: plan-free %v, drops plan %v", clean, lossy)
+	}
+}
+
+// Attaching the all-zero plan must perturb nothing: same seed, byte-for-byte
+// identical finish time as a run that never called AttachFaults.
+func TestZeroPlanIsByteIdentical(t *testing.T) {
+	zero := fault.Plan{}
+	for _, seed := range []int64{1, 2, 42} {
+		plain := runFault(t, cluster.Mini(2, 4), seed, nil, burst(t, 30, 2048))
+		attached := runFault(t, cluster.Mini(2, 4), seed, &zero, burst(t, 30, 2048))
+		if plain != attached {
+			t.Errorf("seed %d: zero plan changed finish time: %v vs %v", seed, plain, attached)
+		}
+	}
+}
+
+// The same (seed, plan) pair must reproduce the exact same simulated times.
+func TestSeedPlanDeterminism(t *testing.T) {
+	plan, err := fault.Builtin("combined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 5, 99} {
+		a := runFault(t, cluster.Mini(2, 2), seed, &plan, burst(t, 40, 1024))
+		b := runFault(t, cluster.Mini(2, 2), seed, &plan, burst(t, 40, 1024))
+		if a != b {
+			t.Errorf("seed %d: two identical runs diverged: %v vs %v", seed, a, b)
+		}
+	}
+}
+
+// The progress watchdog must abort a wedged collective with a report naming
+// the operation and each blocked process's park site.
+func TestWatchdogNamesBlockedRanks(t *testing.T) {
+	eng := sim.New()
+	w := NewWorld(cluster.NewMachine(eng, cluster.Mini(2, 2)), OpenMPI())
+	w.SetCollTimeout(1e-3)
+	w.Start(func(p *Proc) {
+		c := p.W.World()
+		end := w.CollBegin(p.Rank, c, "test.Wedge")
+		defer end()
+		if p.Rank == 0 {
+			return // never sends: everyone else wedges in Recv
+		}
+		buf := make([]byte, 8)
+		c.Recv(p, Bytes(buf), 0, 9)
+	})
+	err := eng.Run()
+	var cte *CollTimeoutError
+	if !errors.As(err, &cte) {
+		t.Fatalf("err = %v, want *CollTimeoutError", err)
+	}
+	if cte.Op != "test.Wedge" || cte.Entered != 4 || cte.Done != 1 {
+		t.Errorf("wrong report: op=%q entered=%d done=%d", cte.Op, cte.Entered, cte.Done)
+	}
+	msg := cte.Error()
+	for _, want := range []string{"test.Wedge", "rank1", "recv(peer=0, tag=9"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("report %q missing %q", msg, want)
+		}
+	}
+}
+
+// A genuine deadlock report must label each parked process with its P2P
+// park site so cross-waiting ranks are diagnosable at a glance.
+func TestDeadlockReportNamesParkSites(t *testing.T) {
+	_, err := Run(cluster.Mini(2, 2), OpenMPI(), func(p *Proc) {
+		c := p.W.World()
+		buf := make([]byte, 4)
+		switch p.Rank {
+		case 0:
+			c.Recv(p, Bytes(buf), 1, 5)
+		case 1:
+			c.Recv(p, Bytes(buf), 0, 5)
+		}
+	})
+	var de *sim.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *sim.DeadlockError", err)
+	}
+	msg := de.Error()
+	for _, want := range []string{"rank0 waiting on recv(peer=1, tag=5", "rank1 waiting on recv(peer=0, tag=5"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("deadlock report %q missing %q", msg, want)
+		}
+	}
+}

@@ -78,6 +78,7 @@ func (c *Comm) Isend(p *Proc, buf Buf, dst, tag int) *Request {
 		panic("mpi: Isend by non-member rank")
 	}
 	req := NewRequest()
+	req.site = WaitSite{Op: "send", Peer: dst, Tag: tag, Ctx: c.ctx}
 	srcW, dstW := p.Rank, c.ranks[dst]
 	eng := w.Eng()
 
@@ -130,9 +131,14 @@ func (c *Comm) Isend(p *Proc, buf Buf, dst, tag int) *Request {
 	}
 
 	// Per-message send-side progression work, then envelope latency, then
-	// protocol-specific data movement.
+	// protocol-specific data movement. An active straggler burst on the
+	// sender scales the progression work.
 	ready := sim.NewSignal()
-	ov := w.Mach.CPUWork(srcW, w.Pers.SendOverhead)
+	so := w.Pers.SendOverhead
+	if s := w.faults.OverheadScale(srcW); s != 1 {
+		so *= s
+	}
+	ov := w.Mach.CPUWork(srcW, so)
 	ov.Done().OnFire(func() {
 		eng.Schedule(sim.Time(w.latency(srcW, dstW)), func() { ready.Fire(eng) })
 	})
@@ -154,10 +160,14 @@ func (c *Comm) Isend(p *Proc, buf Buf, dst, tag int) *Request {
 	}
 	gate.Signal().OnFire(func() {
 		if msg.eager {
-			startData(func() {
-				msg.dataArrived.Fire(eng)
-				req.Complete(eng)
-			})
+			if w.faults.DropsEnabled() {
+				w.startEagerReliable(msg, req, startData, srcW, dstW)
+			} else {
+				startData(func() {
+					msg.dataArrived.Fire(eng)
+					req.Complete(eng)
+				})
+			}
 		} else {
 			msg.onMatch = func() {
 				// Clear-to-send travels back, then the payload moves.
@@ -175,6 +185,54 @@ func (c *Comm) Isend(p *Proc, buf Buf, dst, tag int) *Request {
 	return req
 }
 
+// startEagerReliable moves an eager payload under an active drop plan:
+// each transmission attempt may be lost (the injector decides, drawing
+// from the world's seeded RNG), so the sender arms a retransmission
+// timeout with exponential backoff and keeps resending until one attempt
+// drains intact, at which point an ack travels back and completes the send
+// request. Dropped payloads still charge the wire — the bytes moved before
+// vanishing. The injector caps consecutive drops per message, bounding
+// worst-case latency.
+func (w *World) startEagerReliable(msg *message, req *Request, startData func(func()), srcW, dstW int) {
+	eng := w.Eng()
+	attempt := 0
+	acked := false
+	var rto sim.Timer
+	var try func()
+	try = func() {
+		a := attempt
+		attempt++
+		dropped := w.faults.DropEager(float64(eng.Now()), a)
+		if dropped {
+			w.Tracer.Record(trace.Event{
+				T: float64(eng.Now()), Rank: srcW, Kind: trace.KindDrop,
+				Name: "drop", Size: msg.size, Peer: dstW,
+			})
+		}
+		startData(func() {
+			if acked || dropped {
+				return
+			}
+			acked = true
+			rto.Cancel()
+			msg.dataArrived.Fire(eng)
+			// The ack travels back one envelope latency; only then may the
+			// sender retire the message.
+			eng.Schedule(sim.Time(w.latency(dstW, srcW)), func() { req.Complete(eng) })
+		})
+		// Arm the retransmission timeout for this attempt. If it fires
+		// before an intact payload drained, resend. A retransmit issued
+		// while an earlier intact attempt is still queued is spurious but
+		// harmless: the late duplicate sees acked and is ignored.
+		eng.AfterInto(&rto, sim.Time(w.faults.RTO(a)), func() {
+			if !acked {
+				try()
+			}
+		})
+	}
+	try()
+}
+
 // Irecv posts a non-blocking receive into buf from comm rank src (or
 // AnySource) with the given tag (or AnyTag). The request completes once a
 // matching payload has fully arrived and been copied into buf.
@@ -187,6 +245,7 @@ func (c *Comm) Irecv(p *Proc, buf Buf, src, tag int) *Request {
 	}
 	w := c.w
 	r := &recvReq{src: src, tag: tag, buf: buf, req: NewRequest(), comm: c, dstWorld: p.Rank}
+	r.req.site = WaitSite{Op: "recv", Peer: src, Tag: tag, Ctx: c.ctx}
 	ep := w.endpoint(c.ctx, p.Rank)
 	for i, m := range ep.unexpected {
 		if matches(r, m) {
@@ -223,7 +282,11 @@ func (w *World) match(r *recvReq, m *message) {
 	}
 	eng := w.Eng()
 	m.dataArrived.OnFire(func() {
-		ov := w.Mach.CPUWork(r.dstWorld, w.Pers.RecvOverhead)
+		ro := w.Pers.RecvOverhead
+		if s := w.faults.OverheadScale(r.dstWorld); s != 1 {
+			ro *= s
+		}
+		ov := w.Mach.CPUWork(r.dstWorld, ro)
 		ov.Done().OnFire(func() {
 			r.buf.Slice(0, m.size).CopyFrom(m.data)
 			w.Tracer.Record(trace.Event{

@@ -1,11 +1,34 @@
 package mpi
 
-import "github.com/hanrepro/han/internal/sim"
+import (
+	"fmt"
+
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// WaitSite labels what a blocked request is waiting on, so deadlock and
+// watchdog reports can name the comm, tag, and peer instead of a bare rank
+// ID. Formatting is deferred to report time; parking on a labelled request
+// costs no allocation.
+type WaitSite struct {
+	Op   string // "send", "recv", ...; "" for an unlabelled request
+	Peer int    // comm rank of the peer, AnySource for wildcards
+	Tag  int
+	Ctx  int // communicator context id
+}
+
+func (s *WaitSite) String() string {
+	if s.Op == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s(peer=%d, tag=%d, ctx=%d)", s.Op, s.Peer, s.Tag, s.Ctx)
+}
 
 // Request is the handle of a non-blocking operation (point-to-point or
 // collective). It completes exactly once.
 type Request struct {
 	done *sim.Signal
+	site WaitSite
 }
 
 // NewRequest returns an incomplete request. Collective modules use this to

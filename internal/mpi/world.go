@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/fault"
 	"github.com/hanrepro/han/internal/flow"
 	"github.com/hanrepro/han/internal/sim"
 	"github.com/hanrepro/han/internal/trace"
@@ -33,6 +34,16 @@ type World struct {
 	pairTail map[pairKey]*sim.Signal
 	envTail  map[pairKey]*sim.Signal
 	rng      *rand.Rand
+
+	// faults, when non-nil, injects the attached fault plan. A nil injector
+	// (or one with an all-zero plan) leaves every hot path on its original
+	// code: no extra events, no RNG draws.
+	faults *fault.Injector
+
+	// Progress watchdog state (SetCollTimeout). Zero timeout disables it.
+	collTimeout sim.Time
+	collWatch   map[collKey]*collWatch
+	collInst    map[collInstKey]int
 
 	world       *Comm
 	nodeComms   []*Comm
@@ -165,10 +176,12 @@ func (p *Proc) Now() sim.Time { return p.Sim.Now() }
 func (p *Proc) Node() int { return p.W.Mach.NodeOf(p.Rank) }
 
 // Wait blocks until all given requests complete. Nil requests are skipped.
+// While blocked on a labelled request (a send or receive), the process's
+// park site names the peer, tag, and comm for deadlock/watchdog reports.
 func (p *Proc) Wait(reqs ...*Request) {
 	for _, r := range reqs {
 		if r != nil {
-			p.Sim.Wait(r.done)
+			p.Sim.WaitAt(r.done, &r.site)
 		}
 	}
 }
@@ -194,18 +207,67 @@ func (w *World) Start(fn func(*Proc)) {
 	}
 }
 
+// StartE is Start for rank bodies that can fail. A rank returning a
+// non-nil error stops the engine: Eng().Run() returns the error wrapped in
+// a *RankError (first failing rank wins).
+func (w *World) StartE(fn func(*Proc) error) {
+	for r := 0; r < w.Size(); r++ {
+		r := r
+		w.Eng().Spawn(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
+			if err := fn(&Proc{Sim: sp, W: w, Rank: r}); err != nil {
+				w.Eng().Stop(&RankError{Rank: r, Err: err})
+			}
+		})
+	}
+}
+
 // Run builds a fresh engine+machine+world for spec and pers, runs fn on
 // every rank, and returns the virtual time at which the last process
 // finished.
 func Run(spec cluster.Spec, pers *Personality, fn func(*Proc)) (sim.Time, error) {
+	return RunE(spec, pers, func(p *Proc) error { fn(p); return nil })
+}
+
+// RunE is Run for rank bodies that can fail: the first rank to return a
+// non-nil error aborts the run, and RunE returns that error wrapped in a
+// *RankError.
+func RunE(spec cluster.Spec, pers *Personality, fn func(*Proc) error) (sim.Time, error) {
 	eng := sim.New()
 	w := NewWorld(cluster.NewMachine(eng, spec), pers)
-	w.Start(fn)
+	w.StartE(fn)
 	if err := eng.Run(); err != nil {
 		return eng.Now(), err
 	}
 	return eng.Now(), nil
 }
+
+// RankError wraps an error returned by a rank's body function, recording
+// which rank failed.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankError) Error() string { return fmt.Sprintf("mpi: rank %d: %v", e.Rank, e.Err) }
+func (e *RankError) Unwrap() error { return e.Err }
+
+// AttachFaults binds a fault plan to the world: flap and straggler windows
+// are scheduled onto the engine immediately, and the P2P layer starts
+// consulting the injector for eager drops and overhead scaling. The
+// injector draws from the world's seeded RNG (lazily, so Seed may be
+// called before or after), making (seed, plan) fully determine the run.
+// Attaching an all-zero plan schedules nothing and perturbs nothing.
+// AttachFaults must be called before the engine runs and at most once.
+func (w *World) AttachFaults(plan fault.Plan) {
+	if w.faults != nil {
+		panic("mpi: AttachFaults called twice")
+	}
+	w.faults = fault.NewInjector(plan, func() float64 { return w.rng.Float64() })
+	w.faults.Install(w.Mach)
+}
+
+// Faults returns the attached fault injector, or nil.
+func (w *World) Faults() *fault.Injector { return w.faults }
 
 // dataPath returns the resources an s->d payload crosses.
 func (w *World) dataPath(srcWorld, dstWorld int) []*flow.Resource {

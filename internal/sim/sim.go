@@ -131,6 +131,9 @@ type Engine struct {
 	// non-termination in tests.
 	MaxEvents  uint64
 	dispatched uint64
+	// stopErr, when set via Stop, aborts Run with that error after the
+	// current event finishes dispatching.
+	stopErr error
 }
 
 // New returns a ready-to-use Engine with the clock at zero.
@@ -143,6 +146,38 @@ func New() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Stop requests that Run return err after the event currently being
+// dispatched completes. The first Stop wins; later calls are no-ops.
+// Watchdogs use it to abort a wedged simulation gracefully instead of
+// letting it drain to a bare deadlock report.
+func (e *Engine) Stop(err error) {
+	if e.stopErr == nil {
+		e.stopErr = err
+	}
+}
+
+// ParkedProc describes one blocked process in a deadlock or watchdog report.
+type ParkedProc struct {
+	Name string
+	Site string // what the process is waiting on; "" when unlabelled
+}
+
+// ParkedSites returns a snapshot of every currently parked process together
+// with its park-site label, sorted by name. It allocates and is meant for
+// report construction, not hot paths.
+func (e *Engine) ParkedSites() []ParkedProc {
+	out := make([]ParkedProc, 0, len(e.parked))
+	for p := range e.parked {
+		pp := ParkedProc{Name: p.name}
+		if p.site != nil {
+			pp.Site = p.site.String()
+		}
+		out = append(out, pp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
 
 func (e *Engine) alloc() *event {
 	if n := len(e.free); n > 0 {
@@ -233,6 +268,11 @@ type Proc struct {
 	e      *Engine
 	name   string
 	resume chan struct{}
+	// site describes what the process is currently blocked on (set by
+	// WaitAt), so deadlock and watchdog reports can say *why* a process is
+	// parked, not just that it is. Formatting is deferred to report time so
+	// the hot path never allocates a string.
+	site fmt.Stringer
 }
 
 // Engine returns the engine this process belongs to.
@@ -299,6 +339,21 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // Wait blocks the process until the signal fires. It returns immediately if
 // the signal has already fired.
 func (p *Proc) Wait(s *Signal) {
+	p.site = nil
+	p.wait(s)
+}
+
+// WaitAt is Wait with a park-site label: while the process is blocked, site
+// describes what it is waiting on (a receive, a collective stage, ...), and
+// deadlock/watchdog reports include it. site.String() is only called at
+// report time.
+func (p *Proc) WaitAt(s *Signal, site fmt.Stringer) {
+	p.site = site
+	p.wait(s)
+	p.site = nil
+}
+
+func (p *Proc) wait(s *Signal) {
 	if s.fired {
 		return
 	}
@@ -498,10 +553,21 @@ func (c *Counter) Signal() *Signal { return c.sig }
 type DeadlockError struct {
 	// Parked lists the names of the stuck processes, sorted.
 	Parked []string
+	// Sites lists, aligned with Parked, what each stuck process was waiting
+	// on (the WaitAt label, or "" when the process parked unlabelled).
+	Sites []string
 }
 
 func (d *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock: %d process(es) parked forever: %v", len(d.Parked), d.Parked)
+	labelled := make([]string, len(d.Parked))
+	for i, name := range d.Parked {
+		if i < len(d.Sites) && d.Sites[i] != "" {
+			labelled[i] = name + " waiting on " + d.Sites[i]
+		} else {
+			labelled[i] = name
+		}
+	}
+	return fmt.Sprintf("sim: deadlock: %d process(es) parked forever: %v", len(d.Parked), labelled)
 }
 
 // ErrEventBudget is returned by Run when MaxEvents is exceeded.
@@ -513,9 +579,9 @@ func (e *ErrEventBudget) Error() string {
 
 // Run dispatches events until the queue is empty. It must be called from the
 // goroutine that owns the engine (the "engine goroutine"). It returns nil on
-// a clean drain, a *DeadlockError if processes remain parked, or an
-// *ErrEventBudget if MaxEvents was exceeded. A panic inside a process is
-// re-panicked from Run.
+// a clean drain, a *DeadlockError if processes remain parked, an
+// *ErrEventBudget if MaxEvents was exceeded, or the error passed to Stop if
+// the run was aborted. A panic inside a process is re-panicked from Run.
 func (e *Engine) Run() error {
 	for len(e.events) > 0 {
 		if e.MaxEvents != 0 && e.dispatched >= e.MaxEvents {
@@ -556,14 +622,22 @@ func (e *Engine) Run() error {
 		if e.panicVal != nil {
 			panic(e.panicVal)
 		}
+		if e.stopErr != nil {
+			return e.stopErr
+		}
+	}
+	if e.stopErr != nil {
+		return e.stopErr
 	}
 	if e.live > 0 {
-		names := make([]string, 0, len(e.parked))
-		for p := range e.parked {
-			names = append(names, p.name)
+		procs := e.ParkedSites()
+		names := make([]string, len(procs))
+		sites := make([]string, len(procs))
+		for i, pp := range procs {
+			names[i] = pp.Name
+			sites[i] = pp.Site
 		}
-		sort.Strings(names)
-		return &DeadlockError{Parked: names}
+		return &DeadlockError{Parked: names, Sites: sites}
 	}
 	return nil
 }

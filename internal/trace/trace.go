@@ -24,6 +24,8 @@ const (
 	KindCollEnd   Kind = "coll-end"   // collective completed on a rank
 	KindTaskBegin Kind = "task-begin" // HAN task issued (ib, sb, sr, ...)
 	KindTaskEnd   Kind = "task-end"   // HAN task completed
+	KindDrop      Kind = "drop"       // injected eager-payload loss (fault plans)
+	KindNote      Kind = "note"       // degradation note (e.g. HAN flat fallback)
 )
 
 // Event is one timeline record.
