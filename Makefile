@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet ci bench bench-alloc chaos
+.PHONY: build test race vet lint ci bench bench-alloc chaos
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The pre-push gate: go vet, then the repo's own invariant analyzers
+# (internal/lint, run both standalone and as a vettool so test files are
+# covered), then staticcheck when it is installed. hanlint must run from
+# the repo root: its loader resolves module-local imports via the cwd.
+lint: vet
+	$(GO) run ./cmd/hanlint ./internal/...
+	$(GO) build -o bin/hanlint ./cmd/hanlint
+	$(GO) vet -vettool=bin/hanlint ./internal/...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-ci: build vet race
+ci: build lint race
 	$(GO) test -race -count=1 -run 'Differential|Parity|Deterministic' ./internal/flow/ .
 
 # Fault matrix: every builtin plan across three seeds (what the CI

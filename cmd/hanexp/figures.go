@@ -564,6 +564,10 @@ func measureFusedAllreduce(spec cluster.Spec, m int) float64 {
 			}
 			return buf.Slice(lo, hi)
 		}
+		inter, err := h.Mods.Inter(cfg.IMod)
+		if err != nil {
+			panic(err) // the experiment table only names known submodules
+		}
 		// Three-stage pipeline: sr(t), fused-allreduce(t-1), sb(t-2).
 		for t := 0; t < u+2; t++ {
 			var reqs []*mpi.Request
@@ -572,7 +576,7 @@ func measureFusedAllreduce(spec cluster.Spec, m int) float64 {
 			}
 			if j := t - 1; j >= 0 && j < u && iAmLeader {
 				s := segOf(j)
-				reqs = append(reqs, h.Mods.Inter(cfg.IMod).Iallreduce(p, leaders, s, s, mpi.OpSum, mpi.Float64, coll.Params{Alg: cfg.IRAlg, Seg: cfg.IRS}))
+				reqs = append(reqs, inter.Iallreduce(p, leaders, s, s, mpi.OpSum, mpi.Float64, coll.Params{Alg: cfg.IRAlg, Seg: cfg.IRS}))
 			}
 			if j := t - 2; j >= 0 && j < u {
 				reqs = append(reqs, h.SB(p, node, segOf(j), cfg))

@@ -1,0 +1,114 @@
+// Command hanlint runs the repository's invariant analyzers (package
+// internal/lint) over Go packages. It has two modes:
+//
+//   - Standalone: `hanlint ./internal/...` resolves the patterns with `go
+//     list`, type-checks each package from source, and prints violations.
+//     It must run from inside the repository (module resolution is rooted
+//     at the working directory).
+//
+//   - Vet tool: `go vet -vettool=$(command -v hanlint) ./...` — the go
+//     command invokes hanlint once per package with a *.cfg file
+//     describing the unit (the x/tools "unitchecker" protocol, implemented
+//     here against the standard library). hanlint answers the -V=full and
+//     -flags probes, type-checks the unit against the export data the go
+//     command already built, and reports findings in vet's format.
+//
+// Exit status: 0 clean, 1 operational error, 2 violations found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hanrepro/han/internal/lint"
+)
+
+func main() {
+	// Vet protocol probes must be answered before normal flag parsing.
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			// Stable one-line version string; the go command folds it into
+			// the build cache key for vet results.
+			fmt.Println("hanlint version devel buildID=hanlint-v1")
+			return
+		case "-flags", "--flags":
+			// No tool-specific flags are exposed through go vet.
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	only := flag.String("only", "", "comma-separated subset of passes to run")
+	list := flag.Bool("list", false, "list the available passes and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hanlint [-only pass,pass] packages...\n")
+		fmt.Fprintf(os.Stderr, "       go vet -vettool=$(command -v hanlint) packages...\n\n")
+		fmt.Fprintf(os.Stderr, "passes:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hanlint:", err)
+		os.Exit(1)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	// A single *.cfg argument means the go command is driving us as a vet
+	// tool, one package unit per invocation.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		diags, err := runUnit(args[0], analyzers)
+		exit(diags, err)
+	}
+
+	diags, err := runStandalone(args, analyzers)
+	exit(diags, err)
+}
+
+func exit(diags []lint.Diagnostic, err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hanlint:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	if only == "" {
+		return lint.All(), nil
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a := lint.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown pass %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"strings"
+
+	"github.com/hanrepro/han/internal/lint"
+)
+
+// runStandalone resolves go-list patterns to (import path, dir) pairs and
+// analyzes each package from source.
+func runStandalone(patterns []string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
+	cmd := exec.Command("go", append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}"}, patterns...)...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	loader := lint.NewLoader()
+	var diags []lint.Diagnostic
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		path, dir, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("unexpected go list output %q", line)
+		}
+		pkg, err := loader.Load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, lint.RunAnalyzers(pkg, analyzers)...)
+	}
+	return diags, nil
+}

@@ -100,7 +100,12 @@ func (e Env) MeasureBcastTasks(cfg han.Config, meter *Meter) BcastTasks {
 
 	// The pipelined sbib series (includes ib(0) history automatically).
 	t = e.runWorld(func(h *han.HAN, p *mpi.Proc) {
-		steps := h.BcastSteps(p, SBIBSeriesLen, cfg)
+		steps, err := h.BcastSteps(p, SBIBSeriesLen, cfg)
+		if err != nil {
+			// The benchmark enumerates configurations from the tuner's own
+			// search space, so a rejected one is a programming error.
+			panic(err)
+		}
 		if steps == nil {
 			return
 		}
@@ -162,7 +167,10 @@ func (e Env) MeasureAllreduceTasks(cfg han.Config, meter *Meter) AllreduceTasks 
 		at.Steps = append(at.Steps, make([]float64, nodes))
 	}
 	t := e.runWorld(func(h *han.HAN, p *mpi.Proc) {
-		steps := h.AllreduceSteps(p, u, mpi.OpSum, mpi.Float64, cfg)
+		steps, err := h.AllreduceSteps(p, u, mpi.OpSum, mpi.Float64, cfg)
+		if err != nil {
+			panic(err) // search-space configurations are valid by construction
+		}
 		if steps == nil {
 			return
 		}

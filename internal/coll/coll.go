@@ -135,32 +135,32 @@ func (b Base) Algs(Kind) []Alg { return nil }
 
 // Ibcast panics; modules that support Bcast override it.
 func (b Base) Ibcast(*mpi.Proc, *mpi.Comm, mpi.Buf, int, Params) *mpi.Request {
-	panic(b.unsupported(Bcast))
+	panic(b.unsupported(Bcast)) //hanlint:allow typederr interface stub; Module.Supports gates dispatch, burn-down tracked in DESIGN.md
 }
 
 // Ireduce panics; modules that support Reduce override it.
 func (b Base) Ireduce(*mpi.Proc, *mpi.Comm, mpi.Buf, mpi.Buf, mpi.Op, mpi.Datatype, int, Params) *mpi.Request {
-	panic(b.unsupported(Reduce))
+	panic(b.unsupported(Reduce)) //hanlint:allow typederr interface stub; Module.Supports gates dispatch, burn-down tracked in DESIGN.md
 }
 
 // Iallreduce panics; modules that support Allreduce override it.
 func (b Base) Iallreduce(*mpi.Proc, *mpi.Comm, mpi.Buf, mpi.Buf, mpi.Op, mpi.Datatype, Params) *mpi.Request {
-	panic(b.unsupported(Allreduce))
+	panic(b.unsupported(Allreduce)) //hanlint:allow typederr interface stub; Module.Supports gates dispatch, burn-down tracked in DESIGN.md
 }
 
 // Igather panics; modules that support Gather override it.
 func (b Base) Igather(*mpi.Proc, *mpi.Comm, mpi.Buf, mpi.Buf, int, Params) *mpi.Request {
-	panic(b.unsupported(Gather))
+	panic(b.unsupported(Gather)) //hanlint:allow typederr interface stub; Module.Supports gates dispatch, burn-down tracked in DESIGN.md
 }
 
 // Iallgather panics; modules that support Allgather override it.
 func (b Base) Iallgather(*mpi.Proc, *mpi.Comm, mpi.Buf, mpi.Buf, Params) *mpi.Request {
-	panic(b.unsupported(Allgather))
+	panic(b.unsupported(Allgather)) //hanlint:allow typederr interface stub; Module.Supports gates dispatch, burn-down tracked in DESIGN.md
 }
 
 // Iscatter panics; modules that support Scatter override it.
 func (b Base) Iscatter(*mpi.Proc, *mpi.Comm, mpi.Buf, mpi.Buf, int, Params) *mpi.Request {
-	panic(b.unsupported(Scatter))
+	panic(b.unsupported(Scatter)) //hanlint:allow typederr interface stub; Module.Supports gates dispatch, burn-down tracked in DESIGN.md
 }
 
 // --- shared helpers used by the concrete modules ---

@@ -264,6 +264,7 @@ func (m *SM) Igather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, root int, pr 
 			return
 		}
 		if rbuf.N != c.Size()*blk {
+			//hanlint:allow typederr closure runs inside the sim engine where the request API has no error channel yet; burn-down tracked in DESIGN.md
 			panic(fmt.Sprintf("coll: sm gather buffer %d bytes, want %d", rbuf.N, c.Size()*blk))
 		}
 		rbuf.Slice(me*blk, (me+1)*blk).CopyFrom(sbuf)
@@ -292,6 +293,7 @@ func (m *SM) Iscatter(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, root int, pr
 	lat := sim.Time(p.W.Mach.Spec.IntraLatency)
 	if me == root {
 		if sbuf.N != c.Size()*blk {
+			//hanlint:allow typederr closure runs inside the sim engine where the request API has no error channel yet; burn-down tracked in DESIGN.md
 			panic(fmt.Sprintf("coll: sm scatter buffer %d bytes, want %d", sbuf.N, c.Size()*blk))
 		}
 		for r := 0; r < c.Size(); r++ {

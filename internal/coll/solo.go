@@ -172,6 +172,7 @@ func (m *SOLO) Igather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, root int, p
 			return
 		}
 		if rbuf.N != c.Size()*blk {
+			//hanlint:allow typederr closure runs inside the sim engine where the request API has no error channel yet; burn-down tracked in DESIGN.md
 			panic(fmt.Sprintf("coll: solo gather buffer %d bytes, want %d", rbuf.N, c.Size()*blk))
 		}
 		rbuf.Slice(me*blk, (me+1)*blk).CopyFrom(sbuf)
@@ -200,6 +201,7 @@ func (m *SOLO) Iscatter(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, root int, 
 	lat := sim.Time(p.W.Mach.Spec.IntraLatency)
 	if me == root {
 		if sbuf.N != c.Size()*blk {
+			//hanlint:allow typederr closure runs inside the sim engine where the request API has no error channel yet; burn-down tracked in DESIGN.md
 			panic(fmt.Sprintf("coll: solo scatter buffer %d bytes, want %d", sbuf.N, c.Size()*blk))
 		}
 		for r := 0; r < c.Size(); r++ {

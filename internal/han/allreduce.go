@@ -33,7 +33,10 @@ func (h *HAN) Allreduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datat
 		rbuf.CopyFrom(sbuf)
 		return nil
 	}
-	cfg = h.resolve(coll.Allreduce, sbuf.N, cfg)
+	cfg, err := h.resolve(coll.Allreduce, sbuf.N, cfg)
+	if err != nil {
+		return err
+	}
 	defer h.span(p, w.World(), "han.Allreduce", sbuf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
@@ -44,7 +47,7 @@ func (h *HAN) Allreduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datat
 	// Single-node world: no inter-node level exists, so run the intra-node
 	// flat path and note the degradation.
 	if mach.Spec.Nodes == 1 {
-		mod := h.Mods.Intra(cfg.SMod)
+		mod := h.Mods.intraMod(cfg.SMod)
 		for _, s := range segs {
 			p.Wait(mod.Iallreduce(p, node, sbuf.Slice(s.Lo, s.Hi), rbuf.Slice(s.Lo, s.Hi), op, dt, coll.Params{}))
 		}

@@ -24,7 +24,10 @@ func (h *HAN) Bcast(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) error {
 	if w.Size() == 1 || buf.N == 0 {
 		return nil
 	}
-	cfg = h.resolve(coll.Bcast, buf.N, cfg)
+	cfg, err := h.resolve(coll.Bcast, buf.N, cfg)
+	if err != nil {
+		return err
+	}
 	defer h.span(p, w.World(), "han.Bcast", buf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
@@ -37,7 +40,7 @@ func (h *HAN) Bcast(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) error {
 	// Single-node world: no inter-node level exists, so run the intra-node
 	// flat path and note the degradation.
 	if mach.Spec.Nodes == 1 {
-		mod := h.Mods.Intra(cfg.SMod)
+		mod := h.Mods.intraMod(cfg.SMod)
 		rootLocal := node.RankOfWorld(root)
 		for _, s := range segs {
 			p.Wait(mod.Ibcast(p, node, buf.Slice(s.Lo, s.Hi), rootLocal, coll.Params{}))

@@ -103,7 +103,10 @@ func (h *HAN) BcastComm(p *mpi.Proc, c *mpi.Comm, buf mpi.Buf, root int, cfg Con
 	if c.Size() == 1 || buf.N == 0 {
 		return nil
 	}
-	cfg = h.resolve(coll.Bcast, buf.N, cfg)
+	cfg, err := h.resolve(coll.Bcast, buf.N, cfg)
+	if err != nil {
+		return err
+	}
 	defer h.span(p, c, "han.BcastComm", buf.N)()
 
 	hr, herr := h.analyze(p, c, "BcastComm")
@@ -152,7 +155,10 @@ func (h *HAN) AllreduceComm(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi
 		rbuf.CopyFrom(sbuf)
 		return nil
 	}
-	cfg = h.resolve(coll.Allreduce, sbuf.N, cfg)
+	cfg, err := h.resolve(coll.Allreduce, sbuf.N, cfg)
+	if err != nil {
+		return err
+	}
 	defer h.span(p, c, "han.AllreduceComm", sbuf.N)()
 
 	hr, herr := h.analyze(p, c, "AllreduceComm")

@@ -33,6 +33,21 @@ func (e *BufferSizeError) Error() string {
 	return fmt.Sprintf("han: %s buffer is %d bytes, want %d", e.Op, e.Got, e.Want)
 }
 
+// ConfigError reports a configuration a collective cannot execute: an
+// unknown submodule name or a task schedule asked to run without its
+// required parameters. It is returned (not panicked) from the public
+// entry points so a bad autotuning table or caller typo surfaces as a
+// diagnosable error instead of killing the simulation.
+type ConfigError struct {
+	Op    string // the entry point that rejected the configuration
+	Param string // the offending Config field ("imod", "smod", "fs")
+	Value string // the rejected value, already formatted
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("han: %s: bad config: %s=%s", e.Op, e.Param, e.Value)
+}
+
 // FallbackError is a note, not a failure: the collective completed
 // correctly, but through a degraded path (typically the flat `tuned`
 // module or a lower-level HAN pipeline) because the hierarchy could not be

@@ -14,7 +14,7 @@ import (
 // interFor picks the configured inter-node module if it supports the
 // collective, falling back to libnbc (which supports everything).
 func (h *HAN) interFor(k coll.Kind, cfg Config) coll.Module {
-	m := h.Mods.Inter(cfg.IMod)
+	m := h.Mods.interMod(cfg.IMod)
 	if m.Supports(k) {
 		return m
 	}
@@ -37,7 +37,10 @@ func (h *HAN) Reduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype
 		rbuf.CopyFrom(sbuf)
 		return nil
 	}
-	cfg = h.resolve(coll.Reduce, sbuf.N, cfg)
+	cfg, err := h.resolve(coll.Reduce, sbuf.N, cfg)
+	if err != nil {
+		return err
+	}
 	defer h.span(p, w.World(), "han.Reduce", sbuf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
@@ -48,7 +51,7 @@ func (h *HAN) Reduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype
 	u := len(segs)
 
 	if mach.Spec.Nodes == 1 {
-		mod := h.Mods.Intra(cfg.SMod)
+		mod := h.Mods.intraMod(cfg.SMod)
 		rootLocal := node.RankOfWorld(root)
 		for _, s := range segs {
 			p.Wait(mod.Ireduce(p, node, sbuf.Slice(s.Lo, s.Hi), rbuf.Slice(s.Lo, s.Hi), op, dt, rootLocal, coll.Params{}))
@@ -105,7 +108,10 @@ func (h *HAN) Gather(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int, cfg Config) erro
 		rbuf.CopyFrom(sbuf)
 		return nil
 	}
-	cfg = h.resolve(coll.Gather, sbuf.N, cfg)
+	cfg, err := h.resolve(coll.Gather, sbuf.N, cfg)
+	if err != nil {
+		return err
+	}
 	defer h.span(p, w.World(), "han.Gather", sbuf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
@@ -114,7 +120,7 @@ func (h *HAN) Gather(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int, cfg Config) erro
 	rootNode := mach.NodeOf(root)
 	rootIsLeader := mach.IsNodeLeader(root)
 	iAmLeader := mach.IsNodeLeader(p.Rank)
-	intra := h.Mods.Intra(cfg.SMod)
+	intra := h.Mods.intraMod(cfg.SMod)
 	inter := h.interFor(coll.Gather, cfg)
 
 	if p.Rank == root && rbuf.N != w.Size()*blk {
@@ -166,7 +172,10 @@ func (h *HAN) Scatter(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int, cfg Config) err
 		rbuf.CopyFrom(sbuf)
 		return nil
 	}
-	cfg = h.resolve(coll.Scatter, rbuf.N, cfg)
+	cfg, err := h.resolve(coll.Scatter, rbuf.N, cfg)
+	if err != nil {
+		return err
+	}
 	defer h.span(p, w.World(), "han.Scatter", rbuf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
@@ -175,7 +184,7 @@ func (h *HAN) Scatter(p *mpi.Proc, sbuf, rbuf mpi.Buf, root int, cfg Config) err
 	rootNode := mach.NodeOf(root)
 	rootIsLeader := mach.IsNodeLeader(root)
 	iAmLeader := mach.IsNodeLeader(p.Rank)
-	intra := h.Mods.Intra(cfg.SMod)
+	intra := h.Mods.intraMod(cfg.SMod)
 	inter := h.interFor(coll.Scatter, cfg)
 
 	if p.Rank == root && sbuf.N != w.Size()*blk {
@@ -221,14 +230,17 @@ func (h *HAN) Allgather(p *mpi.Proc, sbuf, rbuf mpi.Buf, cfg Config) error {
 		rbuf.CopyFrom(sbuf)
 		return nil
 	}
-	cfg = h.resolve(coll.Allgather, sbuf.N, cfg)
+	cfg, err := h.resolve(coll.Allgather, sbuf.N, cfg)
+	if err != nil {
+		return err
+	}
 	defer h.span(p, w.World(), "han.Allgather", sbuf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
 	ppn := mach.Spec.PPN
 	blk := sbuf.N
 	iAmLeader := mach.IsNodeLeader(p.Rank)
-	intra := h.Mods.Intra(cfg.SMod)
+	intra := h.Mods.intraMod(cfg.SMod)
 	inter := h.interFor(coll.Allgather, cfg)
 
 	if rbuf.N != w.Size()*blk {

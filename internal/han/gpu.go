@@ -84,7 +84,10 @@ func (h *HAN) BcastGPU(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) error {
 	if buf.N == 0 || w.Size() == 1 {
 		return nil
 	}
-	cfg = h.resolve(coll.Bcast, buf.N, cfg)
+	cfg, err := h.resolve(coll.Bcast, buf.N, cfg)
+	if err != nil {
+		return err
+	}
 	defer h.span(p, w.World(), "han.BcastGPU", buf.N)()
 	node, leaders := h.comms(p)
 	mach := w.Mach
@@ -159,7 +162,10 @@ func (h *HAN) AllreduceGPU(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Da
 		rbuf.CopyFrom(sbuf)
 		return nil
 	}
-	cfg = h.resolve(coll.Allreduce, sbuf.N, cfg)
+	cfg, err := h.resolve(coll.Allreduce, sbuf.N, cfg)
+	if err != nil {
+		return err
+	}
 	defer h.span(p, w.World(), "han.AllreduceGPU", sbuf.N)()
 	node, leaders := h.comms(p)
 	isLeader := w.Mach.IsNodeLeader(p.Rank)

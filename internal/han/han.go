@@ -93,26 +93,48 @@ func NewModules() *Modules {
 	}
 }
 
-// Inter resolves an inter-node submodule by name.
-func (m *Modules) Inter(name string) coll.Module {
+// Inter resolves an inter-node submodule by name; an unknown name returns
+// a *ConfigError.
+func (m *Modules) Inter(name string) (coll.Module, error) {
 	switch name {
 	case "libnbc":
-		return m.Libnbc
+		return m.Libnbc, nil
 	case "adapt":
-		return m.Adapt
+		return m.Adapt, nil
 	}
-	panic(fmt.Sprintf("han: unknown inter-node submodule %q", name))
+	return nil, &ConfigError{Op: "Inter", Param: "imod", Value: fmt.Sprintf("%q (want libnbc or adapt)", name)}
 }
 
-// Intra resolves an intra-node submodule by name.
-func (m *Modules) Intra(name string) coll.Module {
+// Intra resolves an intra-node submodule by name; an unknown name returns
+// a *ConfigError.
+func (m *Modules) Intra(name string) (coll.Module, error) {
 	switch name {
 	case "sm":
-		return m.SM
+		return m.SM, nil
 	case "solo":
-		return m.SOLO
+		return m.SOLO, nil
 	}
-	panic(fmt.Sprintf("han: unknown intra-node submodule %q", name))
+	return nil, &ConfigError{Op: "Intra", Param: "smod", Value: fmt.Sprintf("%q (want sm or solo)", name)}
+}
+
+// interMod is the post-validation form of Inter used on task hot paths:
+// every public entry point runs the configuration through resolve first,
+// so an unknown name here is a programming error, not user input.
+func (m *Modules) interMod(name string) coll.Module {
+	mod, err := m.Inter(name)
+	if err != nil {
+		panic(err)
+	}
+	return mod
+}
+
+// intraMod is the post-validation form of Intra; see interMod.
+func (m *Modules) intraMod(name string) coll.Module {
+	mod, err := m.Intra(name)
+	if err != nil {
+		panic(err)
+	}
+	return mod
 }
 
 // InterNames lists the available inter-node submodules.
@@ -188,9 +210,12 @@ func New(w *mpi.World) *HAN {
 	return &HAN{W: w, Mods: NewModules(), Decide: DefaultDecision}
 }
 
-// resolve fills a zero Config from the decision function and applies
-// defaults to partially-specified ones.
-func (h *HAN) resolve(kind coll.Kind, msgBytes int, cfg Config) Config {
+// resolve fills a zero Config from the decision function, applies
+// defaults to partially-specified ones, and validates the submodule
+// names. Every public entry point calls it before issuing tasks, so a bad
+// tuning table or caller typo surfaces as a returned *ConfigError instead
+// of a panic deep inside the pipeline.
+func (h *HAN) resolve(kind coll.Kind, msgBytes int, cfg Config) (Config, error) {
 	if cfg == (Config{}) {
 		d := h.Decide
 		if d == nil {
@@ -207,6 +232,12 @@ func (h *HAN) resolve(kind coll.Kind, msgBytes int, cfg Config) Config {
 	if cfg.SMod == "" {
 		cfg.SMod = "sm"
 	}
+	if _, err := h.Mods.Inter(cfg.IMod); err != nil {
+		return cfg, err
+	}
+	if _, err := h.Mods.Intra(cfg.SMod); err != nil {
+		return cfg, err
+	}
 	if cfg.IBAlg == coll.AlgDefault {
 		if cfg.IMod == "adapt" {
 			cfg.IBAlg = coll.AlgBinary
@@ -217,7 +248,7 @@ func (h *HAN) resolve(kind coll.Kind, msgBytes int, cfg Config) Config {
 	if cfg.IRAlg == coll.AlgDefault {
 		cfg.IRAlg = cfg.IBAlg
 	}
-	return cfg
+	return cfg, nil
 }
 
 // comms returns the node communicator of p's node and the leader
@@ -266,24 +297,24 @@ func (h *HAN) span(p *mpi.Proc, c *mpi.Comm, name string, size int) func() {
 // IB issues the inter-node broadcast of one segment on the leader
 // communicator (task "ib").
 func (h *HAN) IB(p *mpi.Proc, leaders *mpi.Comm, seg mpi.Buf, rootLeader int, cfg Config) *mpi.Request {
-	return h.traced(p, "ib", seg.N, h.Mods.Inter(cfg.IMod).Ibcast(p, leaders, seg, rootLeader, coll.Params{Alg: cfg.IBAlg, Seg: cfg.IBS}))
+	return h.traced(p, "ib", seg.N, h.Mods.interMod(cfg.IMod).Ibcast(p, leaders, seg, rootLeader, coll.Params{Alg: cfg.IBAlg, Seg: cfg.IBS}))
 }
 
 // SB issues the intra-node broadcast of one segment from the node leader
 // (task "sb").
 func (h *HAN) SB(p *mpi.Proc, node *mpi.Comm, seg mpi.Buf, cfg Config) *mpi.Request {
-	return h.traced(p, "sb", seg.N, h.Mods.Intra(cfg.SMod).Ibcast(p, node, seg, 0, coll.Params{}))
+	return h.traced(p, "sb", seg.N, h.Mods.intraMod(cfg.SMod).Ibcast(p, node, seg, 0, coll.Params{}))
 }
 
 // SR issues the intra-node reduction of one segment to the node leader
 // (task "sr").
 func (h *HAN) SR(p *mpi.Proc, node *mpi.Comm, sseg, rseg mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) *mpi.Request {
-	return h.traced(p, "sr", sseg.N, h.Mods.Intra(cfg.SMod).Ireduce(p, node, sseg, rseg, op, dt, 0, coll.Params{}))
+	return h.traced(p, "sr", sseg.N, h.Mods.intraMod(cfg.SMod).Ireduce(p, node, sseg, rseg, op, dt, 0, coll.Params{}))
 }
 
 // IR issues the inter-node reduction of one segment to leader 0 (task
 // "ir"). The same root and algorithm as IB maximises full-duplex overlap
 // (paper section III-B1).
 func (h *HAN) IR(p *mpi.Proc, leaders *mpi.Comm, sseg, rseg mpi.Buf, op mpi.Op, dt mpi.Datatype, rootLeader int, cfg Config) *mpi.Request {
-	return h.traced(p, "ir", sseg.N, h.Mods.Inter(cfg.IMod).Ireduce(p, leaders, sseg, rseg, op, dt, rootLeader, coll.Params{Alg: cfg.IRAlg, Seg: cfg.IRS}))
+	return h.traced(p, "ir", sseg.N, h.Mods.interMod(cfg.IMod).Ireduce(p, leaders, sseg, rseg, op, dt, rootLeader, coll.Params{Alg: cfg.IRAlg, Seg: cfg.IRS}))
 }

@@ -1,6 +1,8 @@
 package han
 
 import (
+	"fmt"
+
 	"github.com/hanrepro/han/internal/coll"
 	"github.com/hanrepro/han/internal/mpi"
 	"github.com/hanrepro/han/internal/sim"
@@ -60,13 +62,18 @@ func (h *HAN) TimeConcurrentSBIB(p *mpi.Proc, cfg Config) sim.Time {
 //
 // (length u+1). Non-leaders participate in the sb tasks and return nil.
 // The sbib(i) durations exhibit the pipeline warm-up and stabilisation of
-// Fig 3.
-func (h *HAN) BcastSteps(p *mpi.Proc, u int, cfg Config) []sim.Time {
+// Fig 3. A configuration without an explicit segment size (or with an
+// unknown submodule name) is rejected with a *ConfigError.
+func (h *HAN) BcastSteps(p *mpi.Proc, u int, cfg Config) ([]sim.Time, error) {
 	w := h.W
 	if cfg.FS <= 0 {
-		panic("han: steps need an explicit segment size (cfg.FS)")
+		return nil, &ConfigError{Op: "BcastSteps", Param: "fs",
+			Value: fmt.Sprintf("%d (steps need an explicit segment size)", cfg.FS)}
 	}
-	cfg = h.resolve(coll.Bcast, u*cfg.FS, cfg)
+	cfg, err := h.resolve(coll.Bcast, u*cfg.FS, cfg)
+	if err != nil {
+		return nil, err
+	}
 	node, leaders := h.comms(p)
 	buf := mpi.Phantom(u * cfg.FS)
 	segs := segments(buf.N, cfg.FS)
@@ -76,7 +83,7 @@ func (h *HAN) BcastSteps(p *mpi.Proc, u int, cfg Config) []sim.Time {
 		for _, s := range segs {
 			p.Wait(h.SB(p, node, buf.Slice(s.Lo, s.Hi), cfg))
 		}
-		return nil
+		return nil, nil
 	}
 	steps := make([]sim.Time, 0, u+1)
 	var prevSB *mpi.Request
@@ -90,7 +97,7 @@ func (h *HAN) BcastSteps(p *mpi.Proc, u int, cfg Config) []sim.Time {
 	t0 := p.Now()
 	p.Wait(prevSB)
 	steps = append(steps, p.Now()-t0)
-	return steps
+	return steps, nil
 }
 
 // AllreduceSteps runs the Fig 5 pipeline over u phantom segments and
@@ -99,12 +106,18 @@ func (h *HAN) BcastSteps(p *mpi.Proc, u int, cfg Config) []sim.Time {
 //	[ sr(0), irsr(1), ibirsr(2), sbibirsr(3..u-1), sbibir, sbib, sb ]
 //
 // (length u+3). Non-leaders participate in the sr/sb tasks and return nil.
-func (h *HAN) AllreduceSteps(p *mpi.Proc, u int, op mpi.Op, dt mpi.Datatype, cfg Config) []sim.Time {
+// A configuration without an explicit segment size (or with an unknown
+// submodule name) is rejected with a *ConfigError.
+func (h *HAN) AllreduceSteps(p *mpi.Proc, u int, op mpi.Op, dt mpi.Datatype, cfg Config) ([]sim.Time, error) {
 	w := h.W
 	if cfg.FS <= 0 {
-		panic("han: steps need an explicit segment size (cfg.FS)")
+		return nil, &ConfigError{Op: "AllreduceSteps", Param: "fs",
+			Value: fmt.Sprintf("%d (steps need an explicit segment size)", cfg.FS)}
 	}
-	cfg = h.resolve(coll.Allreduce, u*cfg.FS, cfg)
+	cfg, err := h.resolve(coll.Allreduce, u*cfg.FS, cfg)
+	if err != nil {
+		return nil, err
+	}
 	node, leaders := h.comms(p)
 	sbuf := mpi.Phantom(u * cfg.FS)
 	rbuf := mpi.Phantom(u * cfg.FS)
@@ -139,9 +152,9 @@ func (h *HAN) AllreduceSteps(p *mpi.Proc, u int, op mpi.Op, dt mpi.Datatype, cfg
 		steps = append(steps, p.Now()-t0)
 	}
 	if !iAmLeader {
-		return nil
+		return nil, nil
 	}
-	return steps
+	return steps, nil
 }
 
 // TimeConcurrentIBIR measures an ib and an ir issued simultaneously on

@@ -1,6 +1,7 @@
 package han
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/hanrepro/han/internal/cluster"
@@ -18,7 +19,10 @@ func TestBcastStepsShape(t *testing.T) {
 	const u = 6
 	perLeader := make(map[int][]sim.Time)
 	runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
-		steps := h.BcastSteps(p, u, stepCfg())
+		steps, err := h.BcastSteps(p, u, stepCfg())
+		if err != nil {
+			t.Errorf("rank %d: BcastSteps: %v", p.Rank, err)
+		}
 		if h.W.Mach.IsNodeLeader(p.Rank) {
 			perLeader[p.Node()] = steps
 		} else if steps != nil {
@@ -50,7 +54,10 @@ func TestAllreduceStepsShape(t *testing.T) {
 	const u = 6
 	var steps []sim.Time
 	runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
-		s := h.AllreduceSteps(p, u, mpi.OpSum, mpi.Float64, stepCfg())
+		s, err := h.AllreduceSteps(p, u, mpi.OpSum, mpi.Float64, stepCfg())
+		if err != nil {
+			t.Errorf("rank %d: AllreduceSteps: %v", p.Rank, err)
+		}
 		if p.Rank == 0 {
 			steps = s
 		}
@@ -69,13 +76,42 @@ func TestAllreduceStepsShape(t *testing.T) {
 
 func TestStepsRequireSegmentSize(t *testing.T) {
 	spec := cluster.Mini(2, 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic without FS")
-		}
-	}()
 	runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
-		h.BcastSteps(p, 4, Config{})
+		_, err := h.BcastSteps(p, 4, Config{})
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("rank %d: BcastSteps without FS: err = %v, want *ConfigError", p.Rank, err)
+		} else if ce.Param != "fs" {
+			t.Errorf("rank %d: ConfigError.Param = %q, want \"fs\"", p.Rank, ce.Param)
+		}
+		_, err = h.AllreduceSteps(p, 4, mpi.OpSum, mpi.Float64, Config{})
+		if !errors.As(err, &ce) {
+			t.Errorf("rank %d: AllreduceSteps without FS: err = %v, want *ConfigError", p.Rank, err)
+		}
+	})
+}
+
+// TestBadSubmoduleNameRejected pins the resolve-time validation: a tuning
+// table with a typo in a submodule name must surface as a *ConfigError
+// from the public entry points, not as a panic deep inside the pipeline.
+func TestBadSubmoduleNameRejected(t *testing.T) {
+	spec := cluster.Mini(2, 2)
+	runWorld(t, spec, func(h *HAN, p *mpi.Proc) {
+		cfg := stepCfg()
+		cfg.SMod = "shm" // typo for "sm"
+		err := h.Bcast(p, mpi.Phantom(1<<10), 0, cfg)
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("rank %d: Bcast with bad smod: err = %v, want *ConfigError", p.Rank, err)
+		} else if ce.Param != "smod" {
+			t.Errorf("rank %d: ConfigError.Param = %q, want \"smod\"", p.Rank, ce.Param)
+		}
+		cfg = stepCfg()
+		cfg.IMod = "nccl" // not a HAN inter-node submodule
+		err = h.Allreduce(p, mpi.Phantom(1<<10), mpi.Phantom(1<<10), mpi.OpSum, mpi.Float64, cfg)
+		if !errors.As(err, &ce) {
+			t.Errorf("rank %d: Allreduce with bad imod: err = %v, want *ConfigError", p.Rank, err)
+		}
 	})
 }
 

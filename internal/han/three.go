@@ -26,13 +26,13 @@ func (h *HAN) ThreeLevel() bool { return h.W.Mach.Spec.MultiSocket() }
 // NB issues the node-level broadcast of one segment among a node's socket
 // leaders (task "nb"). The node leader (socket 0's leader) is the root.
 func (h *HAN) NB(p *mpi.Proc, sockLeaders *mpi.Comm, seg mpi.Buf, cfg Config) *mpi.Request {
-	return h.Mods.Intra(cfg.SMod).Ibcast(p, sockLeaders, seg, 0, coll.Params{})
+	return h.Mods.intraMod(cfg.SMod).Ibcast(p, sockLeaders, seg, 0, coll.Params{})
 }
 
 // NR issues the node-level reduction of one segment across a node's socket
 // leaders to the node leader (task "nr").
 func (h *HAN) NR(p *mpi.Proc, sockLeaders *mpi.Comm, sseg, rseg mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) *mpi.Request {
-	return h.Mods.Intra(cfg.SMod).Ireduce(p, sockLeaders, sseg, rseg, op, dt, 0, coll.Params{})
+	return h.Mods.intraMod(cfg.SMod).Ireduce(p, sockLeaders, sseg, rseg, op, dt, 0, coll.Params{})
 }
 
 // Bcast3 performs a three-level hierarchical broadcast (socket, node,
@@ -62,7 +62,10 @@ func (h *HAN) Bcast3(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) error {
 	if buf.N == 0 || w.Size() == 1 {
 		return nil
 	}
-	cfg = h.resolve(coll.Bcast, buf.N, cfg)
+	cfg, err := h.resolve(coll.Bcast, buf.N, cfg)
+	if err != nil {
+		return err
+	}
 	defer h.span(p, w.World(), "han.Bcast3", buf.N)()
 	segs := segments(buf.N, cfg.FS)
 	u := len(segs)
@@ -114,7 +117,10 @@ func (h *HAN) Allreduce3(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Data
 		rbuf.CopyFrom(sbuf)
 		return nil
 	}
-	cfg = h.resolve(coll.Allreduce, sbuf.N, cfg)
+	cfg, err := h.resolve(coll.Allreduce, sbuf.N, cfg)
+	if err != nil {
+		return err
+	}
 	defer h.span(p, w.World(), "han.Allreduce3", sbuf.N)()
 	segs := segments(sbuf.N, cfg.FS)
 	u := len(segs)

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// allowMark is one parsed //hanlint:allow annotation.
+type allowMark struct {
+	pass   string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+type allowSet struct {
+	// byLine maps file -> line -> annotations covering that line. An
+	// annotation covers its own line (trailing comment) and the line
+	// below it (comment-above style).
+	byLine map[string]map[int][]*allowMark
+	all    []*allowMark
+}
+
+// match returns the annotation suppressing d, if any.
+func (s *allowSet) match(d Diagnostic) *allowMark {
+	lines := s.byLine[d.Pos.Filename]
+	for _, al := range lines[d.Pos.Line] {
+		if al.pass == d.Pass {
+			return al
+		}
+	}
+	return nil
+}
+
+const allowPrefix = "hanlint:allow"
+
+// collectAllows parses every //hanlint:allow annotation in the package.
+// Malformed annotations (missing pass, unknown pass, or missing reason)
+// are returned as diagnostics so they cannot silently suppress anything.
+func collectAllows(pkg *Package, analyzers []*Analyzer) (*allowSet, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	s := &allowSet{byLine: make(map[string]map[int][]*allowMark)}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{Pass: "allow", Pos: pos,
+						Message: "malformed //hanlint:allow: missing pass name"})
+					continue
+				case !known[fields[0]]:
+					bad = append(bad, Diagnostic{Pass: "allow", Pos: pos,
+						Message: fmt.Sprintf("//hanlint:allow names unknown pass %q", fields[0])})
+					continue
+				case len(fields) < 2:
+					bad = append(bad, Diagnostic{Pass: "allow", Pos: pos,
+						Message: fmt.Sprintf("//hanlint:allow %s needs a reason", fields[0])})
+					continue
+				}
+				al := &allowMark{pass: fields[0], reason: strings.Join(fields[1:], " "), pos: pos}
+				s.all = append(s.all, al)
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*allowMark)
+					s.byLine[pos.Filename] = lines
+				}
+				// Cover the annotation's own line (trailing form) and the
+				// next line (comment-above form).
+				lines[pos.Line] = append(lines[pos.Line], al)
+				lines[pos.Line+1] = append(lines[pos.Line+1], al)
+			}
+		}
+	}
+	return s, bad
+}

@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/hanrepro/han/internal/lint"
+	"github.com/hanrepro/han/internal/lint/linttest"
+)
+
+func TestSimtime(t *testing.T) {
+	linttest.Run(t, lint.SimtimeAnalyzer, "simtime")
+}
+
+func TestWorldrand(t *testing.T) {
+	linttest.Run(t, lint.WorldrandAnalyzer, "worldrand")
+}
+
+// TestWorldrandHome checks the internal/mpi exemption: the seeded
+// plumbing may construct RNGs, global draws stay forbidden.
+func TestWorldrandHome(t *testing.T) {
+	linttest.Run(t, lint.WorldrandAnalyzer, "internal/mpi")
+}
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, lint.MaporderAnalyzer, "maporder")
+}
+
+func TestReqwait(t *testing.T) {
+	linttest.Run(t, lint.ReqwaitAnalyzer, "reqwait")
+}
+
+func TestTypederr(t *testing.T) {
+	linttest.Run(t, lint.TypederrAnalyzer, "typederrfix")
+}
+
+// TestTypederrScope pins the pass's package scoping: it must apply to the
+// real han/coll packages and to fixture packages, and skip everything
+// else (a panic in internal/sim is an invariant assertion, not an API
+// discipline violation).
+func TestTypederrScope(t *testing.T) {
+	applies := lint.TypederrAnalyzer.AppliesTo
+	for path, want := range map[string]bool{
+		"github.com/hanrepro/han/internal/han":  true,
+		"github.com/hanrepro/han/internal/coll": true,
+		"github.com/hanrepro/han/internal/sim":  false,
+		"github.com/hanrepro/han/internal/mpi":  false,
+		"typederrfix":                           true,
+	} {
+		if got := applies(path); got != want {
+			t.Errorf("typederr.AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

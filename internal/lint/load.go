@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (fixtures use their directory
+	// path under testdata/src, e.g. "simtime" or "internal/mpi").
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader type-checks directories into Packages. It builds its packages
+// from source with the standard library's source importer, so it needs no
+// export data and no modules beyond the one rooted at the current working
+// directory — hanlint must run from inside the repository.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader with a shared file set and import cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Load parses and type-checks the non-test Go files of the package in
+// dir, recording it under the given import path.
+func (l *Loader) Load(path, dir string) (*Package, error) {
+	return l.load(path, dir, false)
+}
+
+// LoadWithTests is Load including _test.go files of the same package
+// (external _test packages are skipped). Fixture tests use it.
+func (l *Loader) LoadWithTests(path, dir string) (*Package, error) {
+	return l.load(path, dir, true)
+}
+
+func (l *Loader) load(path, dir string, tests bool) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		// Keep only the primary (non _test-suffixed) package of the dir.
+		fn := f.Name.Name
+		if strings.HasSuffix(fn, "_test") {
+			continue
+		}
+		if pkgName == "" {
+			pkgName = fn
+		}
+		if fn != pkgName {
+			return nil, fmt.Errorf("lint: %s holds several packages (%s, %s)", dir, pkgName, fn)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return l.fset.Position(files[i].Pos()).Filename < l.fset.Position(files[j].Pos()).Filename
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}

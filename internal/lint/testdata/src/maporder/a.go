@@ -1,0 +1,87 @@
+// Fixture for the maporder pass: order-sensitive work inside map-range
+// loops is a violation; the collect-keys-then-sort idiom, integer
+// counters, and slice iteration are not.
+package maporder
+
+import (
+	"sort"
+
+	"github.com/hanrepro/han/internal/sim"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside a map-range loop"
+	}
+	return keys
+}
+
+// goodSorted is the canonical fix: the appended slice is sorted before use.
+func goodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func badFloatCompound(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "floating-point accumulation into \"sum\""
+	}
+	return sum
+}
+
+func badFloatSpelledOut(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want "floating-point accumulation into \"sum\""
+	}
+	return sum
+}
+
+func badEmit(e *sim.Engine, m map[string]float64) {
+	for _, v := range m {
+		e.Schedule(sim.Time(v), func() {}) // want "Schedule call inside a map-range loop emits simulation events"
+	}
+}
+
+// goodIntCounter: integer accumulation is order-independent.
+func goodIntCounter(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// goodSliceFloat: float accumulation over a slice is deterministic.
+func goodSliceFloat(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// goodLoopLocal: state created inside the loop body cannot leak order.
+func goodLoopLocal(m map[string][]float64) {
+	for _, row := range m {
+		local := 0.0
+		for _, v := range row {
+			local += v
+		}
+		_ = local
+	}
+}
+
+func allowed(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v //hanlint:allow maporder compensated summation not needed, test tolerance is 1e-6
+	}
+	return sum
+}

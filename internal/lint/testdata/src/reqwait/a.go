@@ -1,0 +1,75 @@
+// Fixture for the reqwait pass, over a self-contained miniature of the
+// mpi request API (the pass recognizes Isend/Irecv methods returning a
+// pointer to a named Request type).
+package reqwait
+
+type Request struct{ n int }
+
+type Comm struct{}
+
+func (c *Comm) Isend(n, dst, tag int) *Request { return &Request{n: n} }
+func (c *Comm) Irecv(n, src, tag int) *Request { return &Request{n: n} }
+
+type Proc struct{}
+
+func (p *Proc) Wait(reqs ...*Request) {}
+
+func badDrop(c *Comm) {
+	c.Isend(1, 1, 0) // want "Isend request dropped"
+	c.Irecv(1, 1, 0) // want "Irecv request dropped"
+}
+
+func badOverwrite(c *Comm, p *Proc) {
+	var req *Request
+	req = c.Isend(1, 1, 0) // want "request assigned to \"req\" is never waited on before being overwritten"
+	req = c.Isend(2, 1, 0)
+	p.Wait(req)
+}
+
+func goodWait(c *Comm, p *Proc) {
+	req := c.Irecv(1, 1, 0)
+	p.Wait(req)
+}
+
+func goodBatch(c *Comm, p *Proc, peers []int) {
+	var reqs []*Request
+	for _, peer := range peers {
+		r := c.Isend(1, peer, 0)
+		reqs = append(reqs, r)
+	}
+	p.Wait(reqs...)
+}
+
+// goodBranches: assignments on exclusive paths must not bound each
+// other's live ranges.
+func goodBranches(c *Comm, p *Proc, leader bool) {
+	var req *Request
+	if leader {
+		req = c.Isend(1, 0, 0)
+	} else {
+		req = c.Irecv(1, 0, 0)
+	}
+	p.Wait(req)
+}
+
+// goodReturn: handing the request to the caller is consumption.
+func goodReturn(c *Comm) *Request {
+	req := c.Isend(1, 1, 0)
+	return req
+}
+
+// goodExplicitDiscard documents fire-and-forget at the call site.
+func goodExplicitDiscard(c *Comm) {
+	_ = c.Isend(1, 1, 0)
+}
+
+// goodStore: stashing into a field or container escapes the analysis.
+type holder struct{ pending []*Request }
+
+func (h *holder) goodStore(c *Comm) {
+	h.pending = append(h.pending, c.Irecv(1, 0, 0))
+}
+
+func allowed(c *Comm) {
+	c.Isend(1, 1, 0) //hanlint:allow reqwait eager probe, completion observed via pair tail signal
+}

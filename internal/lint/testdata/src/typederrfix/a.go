@@ -1,0 +1,51 @@
+// Fixture for the typederr pass (package names starting with "typederr"
+// opt in, standing in for internal/han and internal/coll): panics on
+// exported entry points are violations; unexported invariant assertions
+// and typed-error returns are the sanctioned patterns.
+package typederrfix
+
+import "fmt"
+
+// ConfigError stands in for the repo's typed error family.
+type ConfigError struct{ Op, Value string }
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("%s: bad value %q", e.Op, e.Value)
+}
+
+func BadPanic(name string) {
+	panic(fmt.Sprintf("unknown submodule %q", name)) // want "panic on public entry point BadPanic"
+}
+
+func BadBarePanic() {
+	panic("not implemented") // want "panic on public entry point BadBarePanic"
+}
+
+func BadNested(names []string) {
+	for _, n := range names {
+		func() {
+			panic(n) // want "panic on public entry point BadNested"
+		}()
+	}
+}
+
+// GoodTyped returns the typed error instead.
+func GoodTyped(name string) error {
+	return &ConfigError{Op: "resolve", Value: name}
+}
+
+// goodHelper is unexported: invariant assertions behind a validated entry
+// point remain legitimate.
+func goodHelper(name string) {
+	panic("unreachable: entry point validated " + name)
+}
+
+func Allowed() {
+	panic("legacy path") //hanlint:allow typederr pre-existing burn-down, tracked in DESIGN.md
+}
+
+// Clean carries a stale annotation: the pass reports the annotation
+// itself so the burn-down list only ever shrinks.
+func Clean() error { //hanlint:allow typederr nothing to suppress here — want "stale //hanlint:allow typederr annotation"
+	return nil
+}

@@ -602,6 +602,7 @@ func (e *Engine) Run() error {
 		case evStart:
 			p, body := ev.p, ev.body
 			e.release(ev)
+			//hanlint:allow simtime the one real goroutine per simulated process; the baton handoff below serialises it
 			go func() {
 				defer func() {
 					if r := recover(); r != nil {
