@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint ci bench bench-alloc chaos
+.PHONY: build test race vet lint ci bench bench-alloc chaos docs
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,17 @@ chaos:
 		HAN_FAULT_SEED=$$seed HAN_FAULT_PLAN=$$plan \
 		$(GO) test -count=1 -run 'FaultMatrix|Chaos' ./internal/han/ ./internal/coll/ || exit 1; \
 	done; done
+
+# Documentation gate (the CI `docs` job): observability goldens and the
+# docs-coverage contract, the checked-in critical-path report, and the
+# markdown link checker. Regenerate goldens with
+# `go test ./internal/bench -run Goldens -update`.
+docs:
+	$(GO) test -count=1 -run 'ObserveGoldens|CritPathOverlap|ObservabilityDocCoverage' ./internal/bench/
+	@mkdir -p bin
+	$(GO) run ./cmd/hantrace critpath -op bcast -size 4194304 -machine mini -nodes 4 -ppn 4 -fs 524288 -seed 1 > bin/fig2.txt
+	tail -n +2 results/critpath-fig2.txt | diff - bin/fig2.txt
+	$(GO) test -count=1 ./internal/docs/
 
 # Allocator micro-benchmarks: incremental vs reference, side by side.
 bench-alloc:

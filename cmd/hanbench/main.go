@@ -22,12 +22,13 @@ import (
 	"github.com/hanrepro/han/internal/fault"
 	"github.com/hanrepro/han/internal/flow"
 	"github.com/hanrepro/han/internal/han"
+	"github.com/hanrepro/han/internal/metrics"
 	"github.com/hanrepro/han/internal/rivals"
 )
 
 func main() {
 	op := flag.String("op", "bcast", "collective: bcast, allreduce, reduce, gather, allgather, scatter")
-	machine := flag.String("machine", "shaheen", "machine preset: shaheen, stampede, tuning64, mini")
+	machine := flag.String("machine", "shaheen", "machine preset: "+strings.Join(cluster.PresetNames(), ", "))
 	nodes := flag.Int("nodes", 0, "override node count")
 	ppn := flag.Int("ppn", 0, "override processes per node")
 	systemsFlag := flag.String("systems", "HAN,OpenMPI-default", "comma-separated systems: HAN, OpenMPI-default, CrayMPI, IntelMPI, MVAPICH2")
@@ -36,13 +37,14 @@ func main() {
 	refAlloc := flag.Bool("refalloc", false, "use the from-scratch reference rate allocator instead of the incremental one (A/B debugging; results are bit-identical, only wall-clock differs)")
 	faultsFlag := flag.String("faults", "", "built-in fault plan to inject: "+strings.Join(fault.BuiltinNames(), ", "))
 	seed := flag.Int64("seed", 0, "RNG seed for jitter and fault draws (0 = library default); the (seed, faults) pair fully determines the run")
+	metricsOut := flag.String("metrics", "", "write an OpenMetrics text export of the sweep's runtime counters to this file (docs/OBSERVABILITY.md)")
 	flag.Parse()
 
 	if *refAlloc {
 		flow.DefaultAllocator = flow.Reference
 	}
 
-	spec, err := machineSpec(*machine)
+	spec, err := cluster.ByName(*machine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hanbench:", err)
 		os.Exit(2)
@@ -54,22 +56,9 @@ func main() {
 		spec.PPN = *ppn
 	}
 
-	var kind coll.Kind
-	switch *op {
-	case "bcast":
-		kind = coll.Bcast
-	case "allreduce":
-		kind = coll.Allreduce
-	case "reduce":
-		kind = coll.Reduce
-	case "gather":
-		kind = coll.Gather
-	case "allgather":
-		kind = coll.Allgather
-	case "scatter":
-		kind = coll.Scatter
-	default:
-		fmt.Fprintf(os.Stderr, "hanbench: unknown op %q\n", *op)
+	kind, err := coll.KindByName(*op)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hanbench:", err)
 		os.Exit(2)
 	}
 
@@ -106,6 +95,9 @@ func main() {
 		}
 		opts.Faults = &plan
 	}
+	if *metricsOut != "" {
+		opts.Metrics = metrics.New()
+	}
 
 	var systems []bench.System
 	for _, name := range strings.Split(*systemsFlag, ",") {
@@ -129,20 +121,24 @@ func main() {
 		title += fmt.Sprintf(", fault plan %q seed %d", *faultsFlag, *seed)
 	}
 	fmt.Print(bench.FormatTable(title, sizes, names, points))
-}
 
-func machineSpec(name string) (cluster.Spec, error) {
-	switch name {
-	case "shaheen":
-		return cluster.ShaheenII(), nil
-	case "stampede":
-		return cluster.Stampede2(), nil
-	case "tuning64":
-		return cluster.Tuning64(), nil
-	case "mini":
-		return cluster.Mini(4, 8), nil
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanbench:", err)
+			os.Exit(1)
+		}
+		// The sweep spans one world per system, each with its own virtual
+		// clock, so samples are stamped 0 rather than any single end time.
+		err = opts.Metrics.WriteOpenMetrics(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanbench:", err)
+			os.Exit(1)
+		}
 	}
-	return cluster.Spec{}, fmt.Errorf("unknown machine %q", name)
 }
 
 func systemByName(name string, decide han.DecisionFunc) (bench.System, error) {

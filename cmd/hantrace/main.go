@@ -1,69 +1,143 @@
-// Command hantrace runs one HAN collective with tracing enabled and writes
-// a Chrome trace-event file (load it in chrome://tracing or
-// https://ui.perfetto.dev) showing the task pipeline: the ib/sb overlap of
-// Fig 1 and the four-stage Allreduce pipeline of Fig 5 appear as
-// overlapping spans on the rank timelines.
+// Command hantrace runs one HAN collective with every observability layer
+// enabled and renders the observation in one of four forms (see
+// docs/OBSERVABILITY.md for the contract behind each):
+//
+//	hantrace [flags]          Chrome trace-event JSON with per-resource
+//	                          utilization counter tracks (chrome://tracing
+//	                          or https://ui.perfetto.dev); the ib/sb overlap
+//	                          of Fig 1 and the four-stage Allreduce pipeline
+//	                          of Fig 5 appear as overlapping spans.
+//	hantrace stats [flags]    Aggregate text report: event counts, task and
+//	                          collective span totals, message latency,
+//	                          flow totals, per-resource busy time and peak.
+//	hantrace critpath [flags] The critical path of the run: the chain of
+//	                          dependencies ending at the last rank to
+//	                          finish, each slice attributed to the tasks
+//	                          or network hop that carried it.
+//	hantrace metrics [flags]  OpenMetrics text export of the runtime and
+//	                          framework counters.
+//
+// All four are deterministic: the same flags produce byte-identical output
+// on every run (the property the golden tests in internal/bench pin down).
 //
 // Usage:
 //
 //	hantrace -op bcast -size 4194304 -nodes 4 -ppn 8 -o bcast.trace.json
+//	hantrace critpath -op bcast -size 1048576 -nodes 2 -ppn 2 -machine mini -fs 131072
+//	hantrace stats -op allreduce -seed 3 -faults drops
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"github.com/hanrepro/han/internal/bench"
 	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/fault"
 	"github.com/hanrepro/han/internal/han"
-	"github.com/hanrepro/han/internal/mpi"
-	"github.com/hanrepro/han/internal/sim"
 	"github.com/hanrepro/han/internal/trace"
 )
 
 func main() {
-	op := flag.String("op", "bcast", "collective: bcast or allreduce")
-	size := flag.Int("size", 4<<20, "message size in bytes")
-	nodes := flag.Int("nodes", 4, "node count")
-	ppn := flag.Int("ppn", 8, "processes per node")
-	out := flag.String("o", "han.trace.json", "output Chrome trace file")
-	flag.Parse()
-
-	spec := cluster.ShaheenII()
-	spec.Nodes, spec.PPN = *nodes, *ppn
-	eng := sim.New()
-	w := mpi.NewWorld(cluster.NewMachine(eng, spec), mpi.OpenMPI())
-	w.Tracer = trace.New()
-	h := han.New(w)
-
-	w.Start(func(p *mpi.Proc) {
-		switch *op {
-		case "bcast":
-			h.Bcast(p, mpi.Phantom(*size), 0, han.Config{})
-		case "allreduce":
-			h.Allreduce(p, mpi.Phantom(*size), mpi.Phantom(*size), mpi.OpSum, mpi.Float64, han.Config{})
-		default:
-			panic("hantrace: unknown op " + *op)
-		}
-	})
-	if err := eng.Run(); err != nil {
-		fmt.Fprintln(os.Stderr, "hantrace:", err)
-		os.Exit(1)
+	args := os.Args[1:]
+	mode := "chrome"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		mode = args[0]
+		args = args[1:]
+	}
+	switch mode {
+	case "chrome", "stats", "critpath", "metrics":
+	default:
+		fmt.Fprintf(os.Stderr, "hantrace: unknown subcommand %q (want stats, critpath, or metrics)\n", mode)
+		os.Exit(2)
 	}
 
-	f, err := os.Create(*out)
+	fs := flag.NewFlagSet("hantrace "+mode, flag.ExitOnError)
+	op := fs.String("op", "bcast", "collective: bcast, allreduce, reduce, gather, allgather, scatter")
+	size := fs.Int("size", 4<<20, "message size in bytes")
+	machine := fs.String("machine", "shaheen", "machine preset: "+strings.Join(cluster.PresetNames(), ", "))
+	nodes := fs.Int("nodes", 4, "override node count (0 = preset default)")
+	ppn := fs.Int("ppn", 8, "override processes per node (0 = preset default)")
+	fsize := fs.Int("fs", 0, "HAN segment size override in bytes (0 = decision function picks)")
+	seed := fs.Int64("seed", 0, "RNG seed (0 = library default)")
+	faultsFlag := fs.String("faults", "", "built-in fault plan to inject: "+strings.Join(fault.BuiltinNames(), ", "))
+	out := fs.String("o", "", "output file (default: stdout; chrome mode defaults to han.trace.json)")
+	fs.Parse(args)
+
+	spec, err := cluster.ByName(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hantrace:", err)
+		os.Exit(2)
+	}
+	if *nodes > 0 {
+		spec.Nodes = *nodes
+	}
+	if *ppn > 0 {
+		spec.PPN = *ppn
+	}
+
+	kind, err := coll.KindByName(*op)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hantrace:", err)
+		os.Exit(2)
+	}
+
+	sc := bench.Scenario{
+		Spec: spec, Kind: kind, Size: *size, Seed: *seed,
+		Cfg: han.Config{FS: *fsize},
+	}
+	if *faultsFlag != "" {
+		plan, err := fault.Builtin(*faultsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hantrace:", err)
+			os.Exit(2)
+		}
+		sc.Faults = &plan
+	}
+
+	o, err := bench.Observe(sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hantrace:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
-	if err := w.Tracer.WriteChromeTrace(f); err != nil {
+
+	dst := io.Writer(os.Stdout)
+	path := *out
+	if mode == "chrome" && path == "" {
+		path = "han.trace.json"
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hantrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+
+	switch mode {
+	case "stats":
+		err = o.WriteStats(dst)
+	case "critpath":
+		err = o.WriteCritPath(dst)
+	case "metrics":
+		err = o.WriteMetrics(dst)
+	case "chrome":
+		err = o.WriteChrome(dst)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hantrace:", err)
 		os.Exit(1)
 	}
-	sum := w.Tracer.Summary()
-	fmt.Printf("hantrace: %s of %s on %d ranks finished at t=%.3f ms (virtual)\n",
-		*op, han.SizeString(*size), spec.Ranks(), float64(eng.Now())*1e3)
-	fmt.Printf("hantrace: %d events (%d task spans) written to %s\n",
-		w.Tracer.Len(), sum[trace.KindTaskBegin], *out)
+	if mode == "chrome" {
+		sum := o.Trace.Summary()
+		fmt.Printf("hantrace: %s finished at t=%.3f ms (virtual)\n", sc, float64(o.End)*1e3)
+		fmt.Printf("hantrace: %d events (%d task spans) written to %s\n",
+			o.Trace.Len(), sum[trace.KindTaskBegin], path)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"github.com/hanrepro/han/internal/coll"
 	"github.com/hanrepro/han/internal/fault"
 	"github.com/hanrepro/han/internal/han"
+	"github.com/hanrepro/han/internal/metrics"
 	"github.com/hanrepro/han/internal/mpi"
 	"github.com/hanrepro/han/internal/rivals"
 	"github.com/hanrepro/han/internal/sim"
@@ -137,6 +138,10 @@ type IMBOpts struct {
 	Faults *fault.Plan
 	// Seed reseeds the world's RNG when non-zero (the default seed is 1).
 	Seed int64
+	// Metrics, when non-nil, receives the runtime's counter families
+	// (and, for systems built on HAN, the framework's) for the whole
+	// sweep — hanbench's -metrics flag exports it as OpenMetrics text.
+	Metrics *metrics.Registry
 }
 
 // IMB runs the collective benchmark for one system over the given sizes on
@@ -155,6 +160,11 @@ func IMBWith(spec cluster.Spec, sys System, kind coll.Kind, sizes []int, o IMBOp
 	}
 	if o.Faults != nil && !o.Faults.IsZero() {
 		w.AttachFaults(*o.Faults)
+	}
+	if o.Metrics != nil {
+		// Before Setup, so a HAN system's han.New sees the registry and
+		// adds its own families to it.
+		w.EnableMetrics(o.Metrics)
 	}
 	ops := sys.Setup(w)
 	maxDur := make([][]float64, len(sizes)) // per size, per iteration

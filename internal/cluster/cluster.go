@@ -12,6 +12,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/hanrepro/han/internal/flow"
 	"github.com/hanrepro/han/internal/sim"
@@ -164,6 +165,30 @@ func Mini(nodes, ppn int) Spec {
 		ReduceScalarBps: 1e9,
 		ReduceAVXBps:    4e9,
 	}
+}
+
+// ByName returns the preset spec for a command-line machine name. The
+// "mini" preset defaults to 4 nodes x 8 ppn; callers usually override the
+// shape afterwards. It is the single lookup shared by cmd/hanbench and
+// cmd/hantrace so both tools accept the same names.
+func ByName(name string) (Spec, error) {
+	switch name {
+	case "shaheen":
+		return ShaheenII(), nil
+	case "stampede":
+		return Stampede2(), nil
+	case "tuning64":
+		return Tuning64(), nil
+	case "mini":
+		return Mini(4, 8), nil
+	}
+	return Spec{}, fmt.Errorf("cluster: unknown machine %q (want one of %s)",
+		name, strings.Join(PresetNames(), ", "))
+}
+
+// PresetNames lists the machine names ByName accepts, for usage strings.
+func PresetNames() []string {
+	return []string{"shaheen", "stampede", "tuning64", "mini"}
 }
 
 // Machine is a Spec instantiated onto a simulation: one pair of NIC

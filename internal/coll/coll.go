@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/trace"
 )
 
 // Kind enumerates collective operation types (the "t" input of the
@@ -53,6 +54,17 @@ func (k Kind) String() string {
 		return "scatter"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// KindByName parses a command-line collective name (the inverse of
+// String), shared by cmd/hanbench and cmd/hantrace.
+func KindByName(name string) (Kind, error) {
+	for k := Bcast; k <= Scatter; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("coll: unknown collective %q", name)
 }
 
 // Alg enumerates collective algorithms across all modules.
@@ -195,8 +207,20 @@ func memCopyBetween(p *mpi.Proc, n, srcWorld, dstWorld int) {
 	if n <= 0 {
 		return
 	}
+	// A cross-rank copy is a data dependency just like a network message,
+	// so it is traced as a send/deliver pair — without it the critical-path
+	// analyzer could not walk from a non-leader rank back to the leader
+	// whose inter-node receive produced the data.
+	p.W.Tracer.Record(trace.Event{
+		T: float64(p.Now()), Rank: srcWorld, Kind: trace.KindSend,
+		Name: "copy", Size: n, Peer: dstWorld,
+	})
 	f := p.W.Mach.Net.Start(float64(n), p.W.Mach.IntraPath(srcWorld, dstWorld)...)
 	p.Sim.Wait(f.Done())
+	p.W.Tracer.Record(trace.Event{
+		T: float64(p.Now()), Rank: dstWorld, Kind: trace.KindDeliver,
+		Name: "copy", Size: n, Peer: srcWorld,
+	})
 }
 
 // reduceInto models the cost of reducing n bytes at `bps` bytes/s on p's

@@ -1,0 +1,110 @@
+package docs
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// inlineLink matches markdown inline links and images: [text](target)
+// and ![alt](target), capturing the target.
+var inlineLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)]+)\)`)
+
+// markdownFiles returns every .md file in the repository, skipping VCS
+// and build-output directories.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	root := filepath.Join("..", "..")
+	var files []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			switch info.Name() {
+			case ".git", "bin", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("suspiciously few markdown files found: %v", files)
+	}
+	return files
+}
+
+// stripCodeBlocks blanks out fenced code blocks and inline code spans so
+// example snippets containing bracket syntax do not produce false links.
+func stripCodeBlocks(src string) string {
+	var b strings.Builder
+	inFence := false
+	for _, line := range strings.SplitAfter(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			b.WriteString("\n")
+			continue
+		}
+		if inFence {
+			b.WriteString("\n")
+			continue
+		}
+		// Blank inline code spans, keeping line structure for messages.
+		for {
+			i := strings.IndexByte(line, '`')
+			if i < 0 {
+				break
+			}
+			j := strings.IndexByte(line[i+1:], '`')
+			if j < 0 {
+				break
+			}
+			line = line[:i] + strings.Repeat(" ", j+2) + line[i+1+j+1:]
+		}
+		b.WriteString(line)
+	}
+	return b.String()
+}
+
+// TestIntraRepoLinksResolve verifies that every local link target in
+// every markdown file exists, relative to the file containing the link.
+// External URLs and pure fragment links are skipped, not fetched.
+func TestIntraRepoLinksResolve(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := stripCodeBlocks(string(src))
+		for _, m := range inlineLink.FindAllStringSubmatch(text, -1) {
+			target := strings.TrimSpace(m[1])
+			// Drop an optional link title: [x](path "title").
+			if i := strings.IndexAny(target, " \t"); i >= 0 {
+				target = target[:i]
+			}
+			// Drop a fragment; pure-fragment links are section anchors.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" ||
+				strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s): %v", file, m[1], resolved, err)
+			}
+		}
+	}
+}

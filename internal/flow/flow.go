@@ -25,6 +25,11 @@
 // This model is what makes the HAN reproduction honest: overlap between
 // inter-node and intra-node traffic emerges from resource sharing (memory
 // bus, CPU progress) instead of being asserted by a formula.
+//
+// Network.EnableMonitor attaches an observation-only monitor that samples
+// per-resource utilization at every rebalance (the only instants rates
+// can change) and accounts per-flow bytes and durations; see monitor.go
+// and docs/OBSERVABILITY.md §4.
 package flow
 
 import (
@@ -65,6 +70,9 @@ type Resource struct {
 	gen      uint64
 	residual float64
 	count    int
+
+	// stats is non-nil when the network's monitor is enabled.
+	stats *ResourceStats
 }
 
 // Load returns the number of flows currently crossing the resource.
@@ -85,6 +93,8 @@ type Flow struct {
 	path      []*Resource
 	remaining float64   // bytes left
 	rate      float64   // current allocated bytes/s
+	bytes     float64   // original size, for monitor accounting
+	start     sim.Time  // time the flow was started
 	last      sim.Time  // time remaining was last brought up to date
 	timer     sim.Timer // completion timer, rearmed in place on rebalance
 	done      *sim.Signal
@@ -122,6 +132,12 @@ type Network struct {
 	active   []*Flow
 	visitGen uint64
 	sweepGen uint64
+
+	// resources lists every resource created on this network, in creation
+	// order; mon is the attached monitor, nil unless EnableMonitor was
+	// called (all monitor hooks are nil-guarded and observation-only).
+	resources []*Resource
+	mon       *Monitor
 }
 
 // NewNetwork returns a flow network bound to the given engine, using
@@ -141,7 +157,12 @@ func (n *Network) NewResource(name string, capacity float64) *Resource {
 	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
 		panic(fmt.Sprintf("flow: resource %q capacity must be positive and finite, got %v", name, capacity))
 	}
-	return &Resource{Name: name, Capacity: capacity}
+	r := &Resource{Name: name, Capacity: capacity}
+	n.resources = append(n.resources, r)
+	if n.mon != nil {
+		n.mon.track(r, n.e.Now())
+	}
+	return r
 }
 
 // SetCapacity changes a resource's capacity mid-run (link degradation,
@@ -166,9 +187,16 @@ func (n *Network) SetCapacity(r *Resource, capacity float64) {
 // negative size completes at the current instant (its Done signal fires
 // immediately). The path must be non-empty for positive sizes.
 func (n *Network) Start(bytes float64, path ...*Resource) *Flow {
-	f := &Flow{net: n, path: path, remaining: bytes, last: n.e.Now(), done: sim.NewSignal()}
+	f := &Flow{net: n, path: path, remaining: bytes, bytes: bytes, last: n.e.Now(), done: sim.NewSignal()}
+	f.start = f.last
+	if n.mon != nil {
+		n.mon.flowStarted()
+	}
 	if bytes <= 0 {
 		f.finished = true
+		if n.mon != nil {
+			n.mon.flowDone(0, 0)
+		}
 		f.done.Fire(n.e)
 		return f
 	}
@@ -245,11 +273,19 @@ func (n *Network) advance(now sim.Time) {
 func (n *Network) rebalance(seed *Flow) {
 	now := n.e.Now()
 	n.collectComponent(seed)
+	if n.mon != nil {
+		// The incremental filler compacts n.res in place; snapshot the
+		// component's resource list before it runs.
+		n.mon.snapshot(n.res)
+	}
 	n.advance(now)
 	if n.mode == Reference {
 		n.fillReference()
 	} else {
 		n.fillIncremental()
+	}
+	if n.mon != nil {
+		n.mon.noteComponent(now)
 	}
 	// Reschedule completion timers under the new rates. AfterInto retargets
 	// a still-pending timer in place, so rebalancing does not tombstone the
@@ -420,8 +456,17 @@ func (n *Network) complete(f *Flow) {
 	f.finished = true
 	f.remaining = 0
 	f.timer.Cancel()
+	now := n.e.Now()
 	for _, r := range f.path {
 		r.remove(f)
+		if n.mon != nil && len(r.flows) == 0 {
+			// No neighbour left to trigger a rebalance: close the
+			// resource's utilization interval here.
+			r.stats.note(now, 0)
+		}
+	}
+	if n.mon != nil {
+		n.mon.flowDone(float64(now-f.start), f.bytes)
 	}
 	f.done.Fire(n.e)
 	// Freed capacity may speed up neighbours: rebalance each disjoint

@@ -1,0 +1,162 @@
+package flow
+
+import "github.com/hanrepro/han/internal/sim"
+
+// This file implements the flow layer's observability hooks: per-resource
+// utilization sampling and per-flow byte/duration accounting. The monitor
+// is event-driven — utilization only changes at rebalances, so it records
+// one piecewise-constant sample per (rebalance, resource) instead of
+// polling on a timer (which would keep the event loop alive forever).
+// Everything is stamped with virtual time and visited in resource
+// creation order, so two replays produce identical sample streams. The
+// monitor does not change rates, timers, or traversal order: enabling it
+// never perturbs the simulation.
+
+// UtilSample is one point of a resource's utilization series: the
+// fraction of capacity allocated from time T until the next sample.
+type UtilSample struct {
+	T    sim.Time
+	Util float64 // 0..1
+}
+
+// ResourceStats accumulates one resource's activity.
+type ResourceStats struct {
+	Res *Resource
+	// Bytes is the integral of allocated rate over time: bytes the
+	// resource actually carried (for CPU progress engines, seconds of
+	// work, since their capacity is 1 work-second per second).
+	Bytes float64
+	// BusySeconds is the total virtual time with nonzero allocation.
+	BusySeconds float64
+	// Peak is the highest utilization observed.
+	Peak float64
+	// Samples is the piecewise-constant utilization series, in
+	// non-decreasing time order with at most one sample per instant.
+	Samples []UtilSample
+
+	lastT    sim.Time
+	lastUtil float64
+}
+
+// note closes the piecewise-constant interval [lastT, t] under lastUtil
+// and starts a new one at util. Multiple notes at one instant keep only
+// the final value (intermediate allocations at the same virtual time are
+// not observable states).
+func (s *ResourceStats) note(t sim.Time, util float64) {
+	if dt := float64(t - s.lastT); dt > 0 {
+		s.Bytes += s.lastUtil * s.Res.Capacity * dt
+		if s.lastUtil > 0 {
+			s.BusySeconds += dt
+		}
+		s.lastT = t
+	}
+	s.lastUtil = util
+	if util > s.Peak {
+		s.Peak = util
+	}
+	if n := len(s.Samples); n > 0 && s.Samples[n-1].T == t {
+		s.Samples[n-1].Util = util
+		return
+	}
+	s.Samples = append(s.Samples, UtilSample{T: t, Util: util})
+}
+
+// util returns the resource's current utilization from live flow rates.
+func (s *ResourceStats) util() float64 {
+	u := 0.0
+	for _, f := range s.Res.flows {
+		u += f.rate
+	}
+	return u / s.Res.Capacity
+}
+
+// FlowTotals aggregates per-flow accounting.
+type FlowTotals struct {
+	Started, Completed int
+	// Bytes and Seconds sum the sizes and durations of completed flows.
+	Bytes, Seconds float64
+	// MaxSeconds is the longest completed flow's duration.
+	MaxSeconds float64
+}
+
+// Monitor observes a Network. Obtain one with Network.EnableMonitor.
+type Monitor struct {
+	res    []*ResourceStats // resource creation order
+	snap   []*Resource      // pre-fill component snapshot (rebalance scratch)
+	totals FlowTotals
+}
+
+// EnableMonitor attaches a monitor to the network (idempotent). Existing
+// and future resources are tracked; enable before starting flows to
+// observe them from their first byte.
+func (n *Network) EnableMonitor() *Monitor {
+	if n.mon == nil {
+		n.mon = &Monitor{}
+		for _, r := range n.resources {
+			n.mon.track(r, n.e.Now())
+		}
+	}
+	return n.mon
+}
+
+// Monitor returns the attached monitor, nil when not enabled.
+func (n *Network) Monitor() *Monitor { return n.mon }
+
+func (m *Monitor) track(r *Resource, now sim.Time) {
+	r.stats = &ResourceStats{Res: r, lastT: now}
+	m.res = append(m.res, r.stats)
+}
+
+// Resources returns per-resource stats in resource creation order.
+func (m *Monitor) Resources() []*ResourceStats {
+	if m == nil {
+		return nil
+	}
+	return m.res
+}
+
+// Totals returns the aggregate per-flow accounting.
+func (m *Monitor) Totals() FlowTotals {
+	if m == nil {
+		return FlowTotals{}
+	}
+	return m.totals
+}
+
+// Finish records a final sample for every resource at the given time,
+// closing all utilization integrals. Call once after the run.
+func (m *Monitor) Finish(now sim.Time) {
+	if m == nil {
+		return
+	}
+	for _, s := range m.res {
+		s.note(now, s.util())
+	}
+}
+
+// snapshot copies the rebalanced component's resource list before the
+// filler compacts it in place.
+func (m *Monitor) snapshot(res []*Resource) {
+	m.snap = append(m.snap[:0], res...)
+}
+
+// noteComponent samples every resource of the snapshotted component under
+// the just-computed rates.
+func (m *Monitor) noteComponent(now sim.Time) {
+	for _, r := range m.snap {
+		r.stats.note(now, r.stats.util())
+	}
+}
+
+func (m *Monitor) flowStarted() {
+	m.totals.Started++
+}
+
+func (m *Monitor) flowDone(seconds, bytes float64) {
+	m.totals.Completed++
+	m.totals.Bytes += bytes
+	m.totals.Seconds += seconds
+	if seconds > m.totals.MaxSeconds {
+		m.totals.MaxSeconds = seconds
+	}
+}

@@ -42,6 +42,7 @@ func (h *HAN) Allreduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datat
 	mach := w.Mach
 	iAmLeader := mach.IsNodeLeader(p.Rank)
 	segs := segments(sbuf.N, cfg.FS)
+	h.m.segsPerColl.Observe(float64(len(segs)))
 	u := len(segs)
 
 	// Single-node world: no inter-node level exists, so run the intra-node

@@ -36,6 +36,7 @@ func (h *HAN) Bcast(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) error {
 	me := p.Rank
 	iAmLeader := mach.IsNodeLeader(me)
 	segs := segments(buf.N, cfg.FS)
+	h.m.segsPerColl.Observe(float64(len(segs)))
 
 	// Single-node world: no inter-node level exists, so run the intra-node
 	// flat path and note the degradation.

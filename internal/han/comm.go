@@ -121,6 +121,7 @@ func (h *HAN) BcastComm(p *mpi.Proc, c *mpi.Comm, buf mpi.Buf, root int, cfg Con
 
 	rootLeader := hr.leaders.RankOfWorld(c.WorldRank(root))
 	segs := segments(buf.N, cfg.FS)
+	h.m.segsPerColl.Observe(float64(len(segs)))
 	if hr.isLeader {
 		var prevSB *mpi.Request
 		for _, s := range segs {
@@ -168,6 +169,7 @@ func (h *HAN) AllreduceComm(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi
 	}
 
 	segs := segments(sbuf.N, cfg.FS)
+	h.m.segsPerColl.Observe(float64(len(segs)))
 	u := len(segs)
 	for t := 0; t < u+3; t++ {
 		var reqs []*mpi.Request

@@ -74,6 +74,7 @@ func (e *FallbackError) Unwrap() error { return e.Cause }
 // typed FallbackError the collective hands back alongside its (correct)
 // result.
 func (h *HAN) fallback(p *mpi.Proc, op, to string, cause error) error {
+	h.m.fallbackTaken(op)
 	if rec := h.W.Tracer; rec != nil {
 		rec.Record(trace.Event{
 			T: float64(p.Now()), Rank: p.Rank, Kind: trace.KindNote,

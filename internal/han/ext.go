@@ -48,6 +48,7 @@ func (h *HAN) Reduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype
 	rootIsLeader := mach.IsNodeLeader(root)
 	iAmLeader := mach.IsNodeLeader(p.Rank)
 	segs := segments(sbuf.N, cfg.FS)
+	h.m.segsPerColl.Observe(float64(len(segs)))
 	u := len(segs)
 
 	if mach.Spec.Nodes == 1 {

@@ -95,6 +95,7 @@ func (h *HAN) BcastGPU(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) error {
 	isLeader := mach.IsNodeLeader(p.Rank)
 	onRootNode := p.Node() == rootNode
 	segs := segments(buf.N, cfg.FS)
+	h.m.segsPerColl.Observe(float64(len(segs)))
 	u := len(segs)
 
 	// Pipeline: at step t, the root leader stages segment t down to the
@@ -170,6 +171,7 @@ func (h *HAN) AllreduceGPU(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Da
 	node, leaders := h.comms(p)
 	isLeader := w.Mach.IsNodeLeader(p.Rank)
 	segs := segments(sbuf.N, cfg.FS)
+	h.m.segsPerColl.Observe(float64(len(segs)))
 	u := len(segs)
 
 	for t := 0; t < u+5; t++ {

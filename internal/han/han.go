@@ -202,12 +202,22 @@ type HAN struct {
 	// Decide supplies per-call configurations when the caller passes the
 	// zero Config; defaults to DefaultDecision.
 	Decide DecisionFunc
+
+	// m holds the metric handles installed by EnableMetrics; always
+	// non-nil (the zero value's nil handles no-op).
+	m *hanMetrics
 }
 
 // New creates a HAN instance for the world with fresh submodules and the
-// default decision function.
+// default decision function. If the world has metrics enabled
+// (mpi.World.EnableMetrics), HAN's metric families register with the same
+// registry automatically.
 func New(w *mpi.World) *HAN {
-	return &HAN{W: w, Mods: NewModules(), Decide: DefaultDecision}
+	h := &HAN{W: w, Mods: NewModules(), Decide: DefaultDecision, m: &hanMetrics{}}
+	if reg := w.Metrics(); reg != nil {
+		h.EnableMetrics(reg)
+	}
+	return h
 }
 
 // resolve fills a zero Config from the decision function, applies
@@ -257,18 +267,27 @@ func (h *HAN) comms(p *mpi.Proc) (node, leaders *mpi.Comm) {
 	return h.W.NodeComm(p.Node()), h.W.LeaderComm()
 }
 
-// traced brackets a task request with trace events when the world has a
-// tracer attached; with none it returns the request untouched.
+// traced brackets a task request with trace events (when the world has a
+// tracer attached) and task metrics (when EnableMetrics installed them);
+// with neither it returns the request untouched.
 func (h *HAN) traced(p *mpi.Proc, name string, size int, req *mpi.Request) *mpi.Request {
 	rec := h.W.Tracer
-	if rec == nil {
+	h.m.taskCounter(name).Inc()
+	hist := h.m.taskSeconds
+	if rec == nil && hist == nil {
 		return req
 	}
-	rec.Record(trace.Event{T: float64(p.Now()), Rank: p.Rank, Kind: trace.KindTaskBegin, Name: name, Size: size, Peer: -1})
+	begin := p.Now()
+	if rec != nil {
+		rec.Record(trace.Event{T: float64(begin), Rank: p.Rank, Kind: trace.KindTaskBegin, Name: name, Size: size, Peer: -1})
+	}
 	eng := h.W.Eng()
 	rank := p.Rank
 	req.Done().OnFire(func() {
-		rec.Record(trace.Event{T: float64(eng.Now()), Rank: rank, Kind: trace.KindTaskEnd, Name: name, Size: size, Peer: -1})
+		if rec != nil {
+			rec.Record(trace.Event{T: float64(eng.Now()), Rank: rank, Kind: trace.KindTaskEnd, Name: name, Size: size, Peer: -1})
+		}
+		hist.Observe(float64(eng.Now() - begin))
 	})
 	return req
 }
@@ -278,6 +297,7 @@ func (h *HAN) traced(p *mpi.Proc, name string, size int, req *mpi.Request) *mpi.
 // the returned func closes the span. With no tracer and no watchdog it is
 // free.
 func (h *HAN) span(p *mpi.Proc, c *mpi.Comm, name string, size int) func() {
+	h.m.collEntered(name)
 	endWatch := h.W.CollBegin(p.Rank, c, name)
 	rec := h.W.Tracer
 	if rec == nil {

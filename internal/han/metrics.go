@@ -1,0 +1,74 @@
+package han
+
+import "github.com/hanrepro/han/internal/metrics"
+
+// hanMetrics holds the framework's instrument handles. Always non-nil on
+// a HAN instance; the zero value's nil handles no-op, so task hot paths
+// hook in unconditionally. Per-operation series (collectives entered,
+// fallbacks taken) are looked up through the registry on demand — those
+// paths run once per collective per rank, not per task.
+type hanMetrics struct {
+	reg *metrics.Registry
+
+	taskIB, taskSB, taskSR, taskIR *metrics.Counter
+	taskSeconds                    *metrics.Histogram
+	segsPerColl                    *metrics.Histogram
+}
+
+// EnableMetrics registers HAN's metric families with reg and starts
+// counting: tasks issued per kind and hierarchy level, task durations,
+// segments per collective call, collectives entered, and fallbacks taken.
+// Observation-only; a nil registry leaves metrics disabled.
+func (h *HAN) EnableMetrics(reg *metrics.Registry) {
+	task := func(name, level string) *metrics.Counter {
+		return reg.Counter(metrics.Opts{
+			Name: "han_tasks", Help: "HAN tasks issued, by task kind and hierarchy level.",
+			Labels: map[string]string{"task": name, "level": level},
+		})
+	}
+	h.m = &hanMetrics{
+		reg:    reg,
+		taskIB: task("ib", "inter"),
+		taskSB: task("sb", "intra"),
+		taskSR: task("sr", "intra"),
+		taskIR: task("ir", "inter"),
+		taskSeconds: reg.Histogram(metrics.Opts{
+			Name: "han_task_seconds", Help: "Virtual-time duration of HAN tasks.", Unit: "seconds",
+		}, metrics.ExpBuckets(1e-6, 4, 12)),
+		segsPerColl: reg.Histogram(metrics.Opts{
+			Name: "han_segments_per_collective", Help: "Pipeline segments per collective call (one observation per rank).",
+		}, metrics.ExpBuckets(1, 2, 8)),
+	}
+}
+
+// taskCounter maps a task name to its pre-registered counter.
+func (m *hanMetrics) taskCounter(name string) *metrics.Counter {
+	switch name {
+	case "ib":
+		return m.taskIB
+	case "sb":
+		return m.taskSB
+	case "sr":
+		return m.taskSR
+	case "ir":
+		return m.taskIR
+	}
+	return nil
+}
+
+// collEntered counts one rank entering the named collective.
+func (m *hanMetrics) collEntered(op string) {
+	m.reg.Counter(metrics.Opts{
+		Name: "han_collectives", Help: "Collective entries, by operation (one per rank per call).",
+		Labels: map[string]string{"op": op},
+	}).Inc()
+}
+
+// fallbackTaken counts one rank completing the named collective through a
+// degraded path.
+func (m *hanMetrics) fallbackTaken(op string) {
+	m.reg.Counter(metrics.Opts{
+		Name: "han_fallbacks", Help: "Collective completions through a degraded (fallback) path, by operation.",
+		Labels: map[string]string{"op": op},
+	}).Inc()
+}

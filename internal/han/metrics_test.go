@@ -1,0 +1,92 @@
+package han
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/metrics"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// metricsBcast runs one 64 KB Bcast on Mini(2,2) with metrics enabled and
+// returns the OpenMetrics export.
+func metricsBcast(t *testing.T) string {
+	t.Helper()
+	eng := sim.New()
+	w := mpi.NewWorld(cluster.NewMachine(eng, cluster.Mini(2, 2)), mpi.OpenMPI())
+	reg := metrics.New()
+	w.EnableMetrics(reg)
+	h := New(w)
+	h.EnableMetrics(reg)
+	w.Start(func(p *mpi.Proc) {
+		buf := make([]byte, 64<<10)
+		if err := h.Bcast(p, mpi.Bytes(buf), 0, Config{}); err != nil {
+			t.Errorf("rank %d: %v", p.Rank, err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := reg.WriteOpenMetrics(&out, float64(eng.Now())); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestMetricsCountBcastActivity(t *testing.T) {
+	out := metricsBcast(t)
+	// Both layers must have counted: HAN issued ib on leaders and sb
+	// everywhere, the runtime moved messages under it.
+	for _, want := range []string{
+		`han_tasks_total{level="inter",task="ib"} 2 `,
+		`han_tasks_total{level="intra",task="sb"} 4 `,
+		`han_collectives_total{op="han.Bcast"} 4 `,
+		"han_segments_per_collective_count 4 ",
+		"mpi_recvs_posted_total",
+		"mpi_delivered_messages_total",
+		"# EOF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "mpi_retransmits_total 0") {
+		t.Errorf("fault-free run should export zero retransmits:\n%s", out)
+	}
+}
+
+func TestMetricsExportDeterministic(t *testing.T) {
+	if a, b := metricsBcast(t), metricsBcast(t); a != b {
+		t.Fatalf("OpenMetrics export differs across replays:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestMetricsDisabledIsFree(t *testing.T) {
+	// A world without EnableMetrics must run identically (zero-value
+	// handles no-op).
+	run := func(enable bool) sim.Time {
+		eng := sim.New()
+		w := mpi.NewWorld(cluster.NewMachine(eng, cluster.Mini(2, 2)), mpi.OpenMPI())
+		h := New(w)
+		if enable {
+			reg := metrics.New()
+			w.EnableMetrics(reg)
+			h.EnableMetrics(reg)
+		}
+		w.Start(func(p *mpi.Proc) {
+			buf := make([]byte, 32<<10)
+			h.Bcast(p, mpi.Bytes(buf), 0, Config{})
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("metrics changed the simulation: %v vs %v", a, b)
+	}
+}

@@ -68,6 +68,7 @@ func (h *HAN) Bcast3(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) error {
 	}
 	defer h.span(p, w.World(), "han.Bcast3", buf.N)()
 	segs := segments(buf.N, cfg.FS)
+	h.m.segsPerColl.Observe(float64(len(segs)))
 	u := len(segs)
 
 	sock := w.SocketComm(p.Node(), mach.SocketOf(p.Rank))
@@ -123,6 +124,7 @@ func (h *HAN) Allreduce3(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Data
 	}
 	defer h.span(p, w.World(), "han.Allreduce3", sbuf.N)()
 	segs := segments(sbuf.N, cfg.FS)
+	h.m.segsPerColl.Observe(float64(len(segs)))
 	u := len(segs)
 
 	sock := w.SocketComm(p.Node(), mach.SocketOf(p.Rank))

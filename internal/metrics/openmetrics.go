@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteOpenMetrics renders every registered family in the OpenMetrics
+// text format, ending with the mandatory `# EOF` marker.
+//
+// now is the virtual time in seconds stamped onto every sample — the
+// simulation's clock, never the wall clock, so exports replay
+// byte-identically. Families are emitted sorted by name and series
+// sorted by label string; values use Go's shortest round-trip float
+// formatting. Counters gain the `_total` sample suffix the format
+// requires; histograms expand to `_bucket{le=...}`, `_sum`, and
+// `_count` with cumulative bucket counts.
+func (r *Registry) WriteOpenMetrics(w io.Writer, now float64) error {
+	bw := bufio.NewWriter(w)
+	if r != nil {
+		fams := append([]*family(nil), r.order...)
+		sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+		ts := fmtFloat(now)
+		for _, f := range fams {
+			if f.help != "" {
+				bw.WriteString("# HELP " + f.name + " " + f.help + "\n")
+			}
+			bw.WriteString("# TYPE " + f.name + " " + string(f.typ) + "\n")
+			if f.unit != "" {
+				bw.WriteString("# UNIT " + f.name + " " + f.unit + "\n")
+			}
+			srs := append([]*series(nil), f.series...)
+			sort.Slice(srs, func(i, j int) bool { return srs[i].labels < srs[j].labels })
+			for _, s := range srs {
+				switch f.typ {
+				case TypeCounter:
+					writeSample(bw, f.name+"_total", s.labels, "", fmtFloat(s.c.Value()), ts)
+				case TypeGauge:
+					writeSample(bw, f.name, s.labels, "", fmtFloat(s.g.Value()), ts)
+				case TypeHistogram:
+					h := s.h
+					cum := uint64(0)
+					for i, b := range h.bounds {
+						cum += h.counts[i]
+						writeSample(bw, f.name+"_bucket", s.labels, `le="`+fmtFloat(b)+`"`, fmtUint(cum), ts)
+					}
+					cum += h.inf
+					writeSample(bw, f.name+"_bucket", s.labels, `le="+Inf"`, fmtUint(cum), ts)
+					writeSample(bw, f.name+"_sum", s.labels, "", fmtFloat(h.Sum()), ts)
+					writeSample(bw, f.name+"_count", s.labels, "", fmtUint(h.Count()), ts)
+				}
+			}
+		}
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+// writeSample emits one sample line: name{labels,extra} value ts.
+func writeSample(bw *bufio.Writer, name, labels, extra, value, ts string) {
+	bw.WriteString(name)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte(' ')
+	bw.WriteString(ts)
+	bw.WriteByte('\n')
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func fmtUint(v uint64) string   { return strconv.FormatUint(v, 10) }

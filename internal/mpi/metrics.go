@@ -1,0 +1,87 @@
+package mpi
+
+import "github.com/hanrepro/han/internal/metrics"
+
+// worldMetrics holds the runtime's instrument handles. The zero value has
+// every handle nil, and nil handles no-op, so the hot paths below
+// increment unconditionally — a world without EnableMetrics pays one nil
+// check per hook and allocates nothing.
+//
+// The metric catalog here is part of the documented observability
+// contract (docs/OBSERVABILITY.md §4); the docs-coverage test fails if a
+// name is added without documentation.
+type worldMetrics struct {
+	sendsEager *metrics.Counter // mpi_messages{protocol="eager"}
+	sendsRdv   *metrics.Counter // mpi_messages{protocol="rendezvous"}
+	sentBytes  *metrics.Counter
+	msgSize    *metrics.Histogram
+
+	retransmits   *metrics.Counter
+	dropsInjected *metrics.Counter
+
+	recvsPosted    *metrics.Counter
+	unexpected     *metrics.Counter
+	rdvStalls      *metrics.Counter
+	delivered      *metrics.Counter
+	deliveredBytes *metrics.Counter
+
+	watchdogArmed *metrics.Counter
+	watchdogFired *metrics.Counter
+}
+
+// EnableMetrics registers the runtime's metric families with reg and
+// starts counting. Call before the engine runs; enabling is
+// observation-only (no rates, schedules, or RNG draws change). A nil
+// registry leaves metrics disabled. The registry is kept on the world so
+// higher layers built on it (han.New) can register their own families
+// with the same registry.
+func (w *World) EnableMetrics(reg *metrics.Registry) {
+	w.mreg = reg
+	w.m = &worldMetrics{
+		sendsEager: reg.Counter(metrics.Opts{
+			Name: "mpi_messages", Help: "Point-to-point sends issued, by protocol.",
+			Labels: map[string]string{"protocol": "eager"},
+		}),
+		sendsRdv: reg.Counter(metrics.Opts{
+			Name: "mpi_messages", Help: "Point-to-point sends issued, by protocol.",
+			Labels: map[string]string{"protocol": "rendezvous"},
+		}),
+		sentBytes: reg.Counter(metrics.Opts{
+			Name: "mpi_sent_bytes", Help: "Payload bytes of sends issued.", Unit: "bytes",
+		}),
+		msgSize: reg.Histogram(metrics.Opts{
+			Name: "mpi_message_size_bytes", Help: "Payload size distribution of sends.", Unit: "bytes",
+		}, metrics.ExpBuckets(64, 4, 12)),
+		retransmits: reg.Counter(metrics.Opts{
+			Name: "mpi_retransmits", Help: "Eager payload retransmission attempts after a timeout.",
+		}),
+		dropsInjected: reg.Counter(metrics.Opts{
+			Name: "mpi_drops_injected", Help: "Eager payloads lost to the fault plan.",
+		}),
+		recvsPosted: reg.Counter(metrics.Opts{
+			Name: "mpi_recvs_posted", Help: "Receives posted.",
+		}),
+		unexpected: reg.Counter(metrics.Opts{
+			Name: "mpi_unexpected_messages", Help: "Envelopes arriving before a matching receive was posted.",
+		}),
+		rdvStalls: reg.Counter(metrics.Opts{
+			Name: "mpi_rendezvous_stalls", Help: "Rendezvous envelopes whose clear-to-send waited on a late receive.",
+		}),
+		delivered: reg.Counter(metrics.Opts{
+			Name: "mpi_delivered_messages", Help: "Messages matched, copied, and completed at the receiver.",
+		}),
+		deliveredBytes: reg.Counter(metrics.Opts{
+			Name: "mpi_delivered_bytes", Help: "Payload bytes delivered to receivers.", Unit: "bytes",
+		}),
+		watchdogArmed: reg.Counter(metrics.Opts{
+			Name: "mpi_watchdog_armed", Help: "Collective instances the progress watchdog started tracking.",
+		}),
+		watchdogFired: reg.Counter(metrics.Opts{
+			Name: "mpi_watchdog_fired", Help: "Watchdog timeouts that aborted the run.",
+		}),
+	}
+}
+
+// Metrics returns the registry passed to EnableMetrics, nil when metrics
+// are disabled.
+func (w *World) Metrics() *metrics.Registry { return w.mreg }

@@ -103,6 +103,13 @@ func (c *Comm) Isend(p *Proc, buf Buf, dst, tag int) *Request {
 		T: float64(p.Now()), Rank: srcW, Kind: trace.KindSend,
 		Name: "send", Size: buf.Len(), Peer: dstW,
 	})
+	if msg.eager {
+		w.m.sendsEager.Inc()
+	} else {
+		w.m.sendsRdv.Inc()
+	}
+	w.m.sentBytes.Add(float64(buf.Len()))
+	w.m.msgSize.Observe(float64(buf.Len()))
 
 	// Data flows between one (src, dst) pair are serialised FIFO, as on a
 	// real per-peer connection: message k's payload enters the wire only
@@ -202,8 +209,12 @@ func (w *World) startEagerReliable(msg *message, req *Request, startData func(fu
 	try = func() {
 		a := attempt
 		attempt++
+		if a > 0 {
+			w.m.retransmits.Inc()
+		}
 		dropped := w.faults.DropEager(float64(eng.Now()), a)
 		if dropped {
+			w.m.dropsInjected.Inc()
 			w.Tracer.Record(trace.Event{
 				T: float64(eng.Now()), Rank: srcW, Kind: trace.KindDrop,
 				Name: "drop", Size: msg.size, Peer: dstW,
@@ -244,6 +255,7 @@ func (c *Comm) Irecv(p *Proc, buf Buf, src, tag int) *Request {
 		panic("mpi: Irecv by non-member rank")
 	}
 	w := c.w
+	w.m.recvsPosted.Inc()
 	r := &recvReq{src: src, tag: tag, buf: buf, req: NewRequest(), comm: c, dstWorld: p.Rank}
 	r.req.site = WaitSite{Op: "recv", Peer: src, Tag: tag, Ctx: c.ctx}
 	ep := w.endpoint(c.ctx, p.Rank)
@@ -269,6 +281,12 @@ func (w *World) deliver(ctx, dstWorld int, m *message) {
 		}
 	}
 	ep.unexpected = append(ep.unexpected, m)
+	w.m.unexpected.Inc()
+	if !m.eager {
+		// The clear-to-send cannot go back until a receive is posted: the
+		// transfer is stalled on the receiver.
+		w.m.rdvStalls.Inc()
+	}
 }
 
 // match binds a posted receive to a message and finishes the receive once
@@ -293,6 +311,8 @@ func (w *World) match(r *recvReq, m *message) {
 				T: float64(eng.Now()), Rank: r.dstWorld, Kind: trace.KindDeliver,
 				Name: "deliver", Size: m.size, Peer: r.comm.ranks[m.src],
 			})
+			w.m.delivered.Inc()
+			w.m.deliveredBytes.Add(float64(m.size))
 			r.req.Complete(eng)
 		})
 	})

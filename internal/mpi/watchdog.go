@@ -97,8 +97,10 @@ func (w *World) CollBegin(rank int, c *Comm, op string) (end func()) {
 	if cw == nil {
 		cw = &collWatch{size: c.Size()}
 		w.collWatch[key] = cw
+		w.m.watchdogArmed.Inc()
 		timeout := w.collTimeout
 		w.Eng().AfterInto(&cw.timer, timeout, func() {
+			w.m.watchdogFired.Inc()
 			w.Eng().Stop(&CollTimeoutError{
 				Op: op, Ctx: c.ctx, Timeout: timeout,
 				Entered: cw.entered, Done: cw.done, Size: cw.size,

@@ -7,6 +7,13 @@
 // component. Each MPI rank executes as a simulated process; transfers charge
 // the hardware resources of cluster.Machine, so contention, congestion, and
 // imperfect overlap emerge from the model rather than from assumptions.
+//
+// The runtime is fully observable without being perturbed: World.Tracer
+// records send/deliver/drop timelines (package trace), and
+// World.EnableMetrics registers message, retransmit, rendezvous-stall,
+// and watchdog counters with a metrics.Registry (see
+// docs/OBSERVABILITY.md for the catalog). Both are nil-safe and
+// observation-only.
 package mpi
 
 import (
@@ -16,6 +23,7 @@ import (
 	"github.com/hanrepro/han/internal/cluster"
 	"github.com/hanrepro/han/internal/fault"
 	"github.com/hanrepro/han/internal/flow"
+	"github.com/hanrepro/han/internal/metrics"
 	"github.com/hanrepro/han/internal/sim"
 	"github.com/hanrepro/han/internal/trace"
 )
@@ -34,6 +42,13 @@ type World struct {
 	pairTail map[pairKey]*sim.Signal
 	envTail  map[pairKey]*sim.Signal
 	rng      *rand.Rand
+
+	// m holds the metric handles installed by EnableMetrics; always
+	// non-nil (the zero value's nil handles no-op) so hot paths hook in
+	// unconditionally. mreg is the registry they live in, nil when
+	// metrics are disabled.
+	m    *worldMetrics
+	mreg *metrics.Registry
 
 	// faults, when non-nil, injects the attached fault plan. A nil injector
 	// (or one with an all-zero plan) leaves every hot path on its original
@@ -61,6 +76,7 @@ func NewWorld(m *cluster.Machine, pers *Personality) *World {
 		envTail:     make(map[pairKey]*sim.Signal),
 		cachedComms: make(map[string]*Comm),
 		rng:         rand.New(rand.NewSource(1)),
+		m:           &worldMetrics{},
 	}
 	all := make([]int, m.Spec.Ranks())
 	for i := range all {

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// leaderTimeline builds a synthetic single-rank HAN-style schedule with a
+// genuine ib/sb overlap window: ib(1) spans [0,2], sb(1) spans [2,5],
+// ib(2) spans [3,4] — so [3,4] has both an ib and an sb task open.
+func leaderTimeline() []Event {
+	return []Event{
+		{T: 0, Rank: 0, Kind: KindCollBegin, Name: "han.Bcast", Size: 1000, Peer: NoPeer},
+		{T: 0, Rank: 0, Kind: KindTaskBegin, Name: "ib", Size: 500, Peer: NoPeer},
+		{T: 1, Rank: 0, Kind: KindSend, Name: "send", Size: 500, Peer: 1},
+		{T: 2, Rank: 0, Kind: KindTaskEnd, Name: "ib", Size: 500, Peer: NoPeer},
+		{T: 2, Rank: 0, Kind: KindTaskBegin, Name: "sb", Size: 500, Peer: NoPeer},
+		{T: 3, Rank: 0, Kind: KindTaskBegin, Name: "ib", Size: 500, Peer: NoPeer},
+		{T: 4, Rank: 0, Kind: KindTaskEnd, Name: "ib", Size: 500, Peer: NoPeer},
+		{T: 5, Rank: 0, Kind: KindTaskEnd, Name: "sb", Size: 500, Peer: NoPeer},
+		{T: 6, Rank: 0, Kind: KindCollEnd, Name: "han.Bcast", Size: 1000, Peer: NoPeer},
+	}
+}
+
+func TestSpansPairsFIFO(t *testing.T) {
+	spans := Spans(leaderTimeline())
+	var ib, sb, coll int
+	for _, s := range spans {
+		switch {
+		case s.Task && s.Name == "ib":
+			ib++
+		case s.Task && s.Name == "sb":
+			sb++
+		case !s.Task:
+			coll++
+			if s.Begin != 0 || s.End != 6 {
+				t.Fatalf("collective span = [%v,%v], want [0,6]", s.Begin, s.End)
+			}
+		}
+	}
+	if ib != 2 || sb != 1 || coll != 1 {
+		t.Fatalf("spans: ib=%d sb=%d coll=%d", ib, sb, coll)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	evs := leaderTimeline()
+	evs = append(evs, Event{T: 4, Rank: 1, Kind: KindDeliver, Name: "deliver", Size: 500, Peer: 0})
+	st := ComputeStats(evs)
+	if st.Events != len(evs) || st.Ranks != 2 {
+		t.Fatalf("events=%d ranks=%d", st.Events, st.Ranks)
+	}
+	if st.First != 0 || st.Last != 6 {
+		t.Fatalf("bounds [%v,%v]", st.First, st.Last)
+	}
+	var ibStat *TaskStat
+	for i := range st.Tasks {
+		if st.Tasks[i].Name == "ib" {
+			ibStat = &st.Tasks[i]
+		}
+	}
+	if ibStat == nil || ibStat.Count != 2 || ibStat.Seconds != 3 {
+		t.Fatalf("ib stat = %+v", ibStat)
+	}
+	if st.Msg.Sends != 1 || st.Msg.Delivers != 1 || st.Msg.Bytes != 500 {
+		t.Fatalf("msg = %+v", st.Msg)
+	}
+	if st.Msg.Matched != 1 || st.Msg.MinLat != 3 || st.Msg.MaxLat != 3 {
+		t.Fatalf("latency = %+v", st.Msg)
+	}
+}
+
+func TestCriticalPathAttributionAndOverlap(t *testing.T) {
+	cp, err := CriticalPath(leaderTimeline(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Op != "han.Bcast" || cp.Start != 0 || cp.End != 6 {
+		t.Fatalf("path anchor wrong: %+v", cp)
+	}
+	if got := cp.Len(); got != 6 {
+		t.Fatalf("len = %v", got)
+	}
+	// Expected chronological attribution after merging.
+	want := []struct {
+		from, to float64
+		label    string
+	}{
+		{0, 2, "ib"}, {2, 3, "sb"}, {3, 4, "ib+sb"}, {4, 5, "sb"}, {5, 6, "idle"},
+	}
+	if len(cp.Steps) != len(want) {
+		t.Fatalf("steps = %+v", cp.Steps)
+	}
+	for i, w := range want {
+		s := cp.Steps[i]
+		if s.From != w.from || s.To != w.to || s.Label != w.label {
+			t.Fatalf("step %d = %+v, want %+v", i, s, w)
+		}
+	}
+	if ov := cp.OverlapSeconds("ib", "sb"); ov != 1 {
+		t.Fatalf("ib/sb overlap = %v, want 1", ov)
+	}
+	// The telescoping guarantee: step durations sum to the path length.
+	sum := 0.0
+	for _, s := range cp.Steps {
+		sum += s.Seconds()
+	}
+	if math.Abs(sum-cp.Len()) > 1e-12 {
+		t.Fatalf("steps sum to %v, path len %v", sum, cp.Len())
+	}
+}
+
+func TestCriticalPathCrossesNetworkEdges(t *testing.T) {
+	evs := []Event{
+		{T: 0, Rank: 0, Kind: KindCollBegin, Name: "bcast", Peer: NoPeer},
+		{T: 0, Rank: 1, Kind: KindCollBegin, Name: "bcast", Peer: NoPeer},
+		{T: 0.5, Rank: 0, Kind: KindSend, Name: "send", Size: 8, Peer: 1},
+		{T: 1, Rank: 0, Kind: KindCollEnd, Name: "bcast", Peer: NoPeer},
+		{T: 2, Rank: 1, Kind: KindDeliver, Name: "deliver", Size: 8, Peer: 0},
+		{T: 3, Rank: 1, Kind: KindCollEnd, Name: "bcast", Peer: NoPeer},
+	}
+	cp, err := CriticalPath(evs, 1) // ppn=1: ranks 0 and 1 are different nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Start != 0 || cp.End != 3 {
+		t.Fatalf("bounds [%v,%v]", cp.Start, cp.End)
+	}
+	var net *CPStep
+	for i := range cp.Steps {
+		if cp.Steps[i].Class == "net-inter" {
+			net = &cp.Steps[i]
+		}
+	}
+	if net == nil || net.From != 0.5 || net.To != 2 || net.Label != "net 0->1" {
+		t.Fatalf("network edge missing or wrong: %+v", cp.Steps)
+	}
+}
+
+func TestCriticalPathNoCollective(t *testing.T) {
+	if _, err := CriticalPath([]Event{{T: 0, Kind: KindSend, Peer: 1}}, 0); err == nil {
+		t.Fatal("want error on a stream without coll-end")
+	}
+}

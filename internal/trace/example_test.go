@@ -1,0 +1,72 @@
+package trace_test
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/hanrepro/han/internal/trace"
+)
+
+// ExampleRecorder records two point-to-point events and exports them as
+// JSON. Note that peer rank 0 and size 0 survive serialization — the
+// wire format is sentinel-aware, not omitempty.
+func ExampleRecorder() {
+	r := trace.New()
+	r.Record(trace.Event{T: 0, Rank: 1, Kind: trace.KindSend, Name: "send", Size: 0, Peer: 0})
+	r.Record(trace.Event{T: 0.25, Rank: 0, Kind: trace.KindDeliver, Name: "deliver", Size: 0, Peer: 1})
+	r.WriteJSON(os.Stdout)
+	// Output:
+	// [
+	//   {
+	//     "t": 0,
+	//     "rank": 1,
+	//     "kind": "send",
+	//     "name": "send",
+	//     "size": 0,
+	//     "peer": 0
+	//   },
+	//   {
+	//     "t": 0.25,
+	//     "rank": 0,
+	//     "kind": "deliver",
+	//     "name": "deliver",
+	//     "size": 0,
+	//     "peer": 1
+	//   }
+	// ]
+}
+
+// Example_criticalPath extracts the critical path of a hand-built
+// leader timeline where a second inter-node broadcast task (ib) runs
+// while the first intra-node broadcast (sb) is still in flight; the
+// [3s, 4s] slice is attributed to both — the ib/sb pipeline overlap.
+func Example_criticalPath() {
+	evs := []trace.Event{
+		{T: 0, Rank: 0, Kind: trace.KindCollBegin, Name: "han.Bcast", Peer: trace.NoPeer},
+		{T: 0, Rank: 0, Kind: trace.KindTaskBegin, Name: "ib", Peer: trace.NoPeer},
+		{T: 2, Rank: 0, Kind: trace.KindTaskEnd, Name: "ib", Peer: trace.NoPeer},
+		{T: 2, Rank: 0, Kind: trace.KindTaskBegin, Name: "sb", Peer: trace.NoPeer},
+		{T: 3, Rank: 0, Kind: trace.KindTaskBegin, Name: "ib", Peer: trace.NoPeer},
+		{T: 4, Rank: 0, Kind: trace.KindTaskEnd, Name: "ib", Peer: trace.NoPeer},
+		{T: 5, Rank: 0, Kind: trace.KindTaskEnd, Name: "sb", Peer: trace.NoPeer},
+		{T: 6, Rank: 0, Kind: trace.KindCollEnd, Name: "han.Bcast", Peer: trace.NoPeer},
+	}
+	cp, err := trace.CriticalPath(evs, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %.1fs\n", cp.Op, cp.Len())
+	for _, s := range cp.Steps {
+		fmt.Printf("  [%.1fs %.1fs] rank %d %s\n", s.From, s.To, s.Rank, s.Label)
+	}
+	fmt.Printf("ib+sb overlap: %.1fs\n", cp.OverlapSeconds("ib", "sb"))
+	// Output:
+	// han.Bcast: 6.0s
+	//   [0.0s 2.0s] rank 0 ib
+	//   [2.0s 3.0s] rank 0 sb
+	//   [3.0s 4.0s] rank 0 ib+sb
+	//   [4.0s 5.0s] rank 0 sb
+	//   [5.0s 6.0s] rank 0 idle
+	// ib+sb overlap: 1.0s
+}

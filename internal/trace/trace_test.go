@@ -86,3 +86,94 @@ func TestChromeTraceFormat(t *testing.T) {
 		prev = ts
 	}
 }
+
+// Regression: `omitempty` on the Peer and Size ints silently dropped
+// peer rank 0 and zero-byte sizes from exports. Marshalling is now
+// sentinel-aware: peer is present exactly when the event is
+// point-to-point (Peer != NoPeer), size is always present.
+func TestJSONKeepsPeerZeroAndSizeZero(t *testing.T) {
+	r := New()
+	r.Record(Event{T: 1, Rank: 3, Kind: KindDeliver, Name: "deliver", Size: 0, Peer: 0})
+	r.Record(Event{T: 2, Rank: 0, Kind: KindTaskBegin, Name: "ib", Size: 512, Peer: NoPeer})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"peer": 0`)) {
+		t.Fatalf("peer rank 0 dropped from export:\n%s", buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"size": 0`)) {
+		t.Fatalf("size 0 dropped from export:\n%s", buf.String())
+	}
+	var back []Event
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Peer != 0 || back[0].Size != 0 {
+		t.Fatalf("round trip lost peer/size zero: %+v", back[0])
+	}
+	// Non-P2P events omit peer on the wire and restore NoPeer.
+	if bytes.Contains(splitLineWith(buf.Bytes(), `"ib"`), []byte(`"peer"`)) {
+		t.Fatalf("non-P2P event serialized a peer field:\n%s", buf.String())
+	}
+	if back[1].Peer != NoPeer {
+		t.Fatalf("absent peer must unmarshal to NoPeer, got %d", back[1].Peer)
+	}
+}
+
+// splitLineWith returns the JSON object block containing the marker (the
+// encoder indents one field per line, so scanning lines suffices for the
+// ib event's fields).
+func splitLineWith(b []byte, marker string) []byte {
+	i := bytes.Index(b, []byte(marker))
+	if i < 0 {
+		return nil
+	}
+	lo := bytes.LastIndexByte(b[:i], '{')
+	hi := i + bytes.IndexByte(b[i:], '}')
+	return b[lo : hi+1]
+}
+
+func TestChromeTraceCounters(t *testing.T) {
+	r := sample()
+	r.RecordCounter(2e-6, "util node0.nicOut", 0.75)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var counters int
+	for _, e := range out.TraceEvents {
+		if e["ph"] == "C" {
+			counters++
+			args := e["args"].(map[string]interface{})
+			if args["value"].(float64) != 0.75 {
+				t.Fatalf("counter value wrong: %v", args)
+			}
+		}
+	}
+	if counters != 1 {
+		t.Fatalf("got %d counter events, want 1", counters)
+	}
+}
+
+func TestAllKindsComplete(t *testing.T) {
+	kinds := AllKinds()
+	seen := map[Kind]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Fatalf("duplicate kind %q", k)
+		}
+		seen[k] = true
+	}
+	for _, k := range []Kind{KindSend, KindDeliver, KindCollBegin, KindCollEnd, KindTaskBegin, KindTaskEnd, KindDrop, KindNote} {
+		if !seen[k] {
+			t.Fatalf("AllKinds missing %q", k)
+		}
+	}
+}
