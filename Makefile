@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint ci bench bench-alloc chaos docs
+.PHONY: build test race vet lint ci bench bench-alloc bench-search chaos docs
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,13 @@ docs:
 # Allocator micro-benchmarks: incremental vs reference, side by side.
 bench-alloc:
 	$(GO) test -run xxx -bench Rebalance -benchmem ./internal/flow/
+
+# Parallel tuning-sweep benchmark: serial vs parallel RunSearch wall-clock
+# (tables are byte-identical across the worker axis). Compare against
+# BENCH_search.json; regenerate that baseline from this output on a
+# multi-core machine.
+bench-search:
+	$(GO) test -run xxx -bench RunSearch -benchtime 2x -benchmem ./internal/autotune/
 
 # Trimmed paper-scale wall-clock benchmark (4096 ranks); compare against
 # BENCH_allocator.json.

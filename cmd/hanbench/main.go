@@ -38,6 +38,7 @@ func main() {
 	faultsFlag := flag.String("faults", "", "built-in fault plan to inject: "+strings.Join(fault.BuiltinNames(), ", "))
 	seed := flag.Int64("seed", 0, "RNG seed for jitter and fault draws (0 = library default); the (seed, faults) pair fully determines the run")
 	metricsOut := flag.String("metrics", "", "write an OpenMetrics text export of the sweep's runtime counters to this file (docs/OBSERVABILITY.md)")
+	workers := flag.Int("workers", 0, "concurrent per-system benchmark workers (0 = GOMAXPROCS; forced to 1 with -metrics); results are identical for any value")
 	flag.Parse()
 
 	if *refAlloc {
@@ -110,11 +111,10 @@ func main() {
 	}
 
 	names := make([]string, len(systems))
-	points := make(map[string][]bench.Point)
 	for i, sys := range systems {
 		names[i] = sys.Name
-		points[sys.Name] = bench.IMBWith(spec, sys, kind, sizes, opts)
 	}
+	points := bench.IMBAll(spec, systems, kind, sizes, opts, *workers)
 	title := fmt.Sprintf("%s on %s (%d nodes x %d ppn = %d processes), latency in µs",
 		*op, spec.Name, spec.Nodes, spec.PPN, spec.Ranks())
 	if *faultsFlag != "" {

@@ -8,11 +8,23 @@ import (
 	"github.com/hanrepro/han/internal/bench"
 	"github.com/hanrepro/han/internal/cluster"
 	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/exec"
 	"github.com/hanrepro/han/internal/han"
 	"github.com/hanrepro/han/internal/mpi"
 	"github.com/hanrepro/han/internal/rivals"
 	"github.com/hanrepro/han/internal/sim"
 )
+
+// expWorkers is the -workers flag: how many host workers the measurement
+// fan-outs use (0 = GOMAXPROCS).
+var expWorkers int
+
+// fanOut runs job(0..n-1) on the experiment executor. Jobs build private
+// worlds and write into index-addressed slots; callers print serially
+// afterwards, so every figure is identical for any worker count.
+func fanOut(n int, job func(i int)) {
+	exec.New(expWorkers).Run(n, job)
+}
 
 // Scale is a size preset: the paper's machines, or the same hardware ratios
 // at reduced node counts.
@@ -120,8 +132,13 @@ func Fig2(sc Scale) {
 	activeScale = sc.Name
 	header("Fig 2 — cost of tasks ib, sb and sbib per node leader (64KB segments, rank 0 root)")
 	env := autotune.NewEnv(sc.taskSpec(), mpi.OpenMPI())
-	for _, cfg := range taskConfigs(64 << 10) {
-		bt := env.MeasureBcastTasks(cfg, &autotune.Meter{})
+	configs := taskConfigs(64 << 10)
+	bts := make([]autotune.BcastTasks, len(configs))
+	fanOut(len(configs), func(i int) {
+		bts[i] = env.MeasureBcastTasks(configs[i], &autotune.Meter{})
+	})
+	for i, cfg := range configs {
+		bt := bts[i]
 		fmt.Printf("config %s:\n", cfgLabel(cfg))
 		fmt.Printf("  %-8s%12s%12s%16s%14s\n", "leader", "ib(0) µs", "sb(0) µs", "conc sb+ib µs", "sbib(1) µs")
 		for l := range bt.IB0 {
@@ -140,9 +157,9 @@ func Fig3(sc Scale) {
 	env := autotune.NewEnv(sc.taskSpec(), mpi.OpenMPI())
 	configs := taskConfigs(64 << 10)
 	bts := make([]autotune.BcastTasks, len(configs))
-	for i, cfg := range configs {
-		bts[i] = env.MeasureBcastTasks(cfg, &autotune.Meter{})
-	}
+	fanOut(len(configs), func(i int) {
+		bts[i] = env.MeasureBcastTasks(configs[i], &autotune.Meter{})
+	})
 	leader := sc.TaskNodes / 2 // "node leader 2" in the paper
 	fmt.Printf("%-6s", "i")
 	for _, cfg := range configs {
@@ -165,20 +182,24 @@ func modelValidation(sc Scale, kind coll.Kind, m int) {
 	env := autotune.NewEnv(sc.Tuning, mpi.OpenMPI())
 	meter := &autotune.Meter{}
 	cands := sc.Space.Expand(kind, m, false, sc.Tuning.Nodes)
+	ests := make([]float64, len(cands))
+	acts := make([]float64, len(cands))
+	fanOut(len(cands), func(i int) {
+		switch kind {
+		case coll.Bcast:
+			bt := env.MeasureBcastTasks(cands[i].Cfg, meter)
+			ests[i] = autotune.EstimateBcast(bt, m)
+		case coll.Allreduce:
+			at := env.MeasureAllreduceTasks(cands[i].Cfg, meter)
+			ests[i] = autotune.EstimateAllreduce(at, m)
+		}
+		acts[i] = env.MeasureCollective(kind, m, cands[i].Cfg, 2, meter)
+	})
 	fmt.Printf("%-52s%14s%14s\n", "configuration", "estimated µs", "actual µs")
 	bestEst, bestAct := -1.0, -1.0
 	var cfgEst, cfgAct han.Config
-	for _, cand := range cands {
-		var est float64
-		switch kind {
-		case coll.Bcast:
-			bt := env.MeasureBcastTasks(cand.Cfg, meter)
-			est = autotune.EstimateBcast(bt, m)
-		case coll.Allreduce:
-			at := env.MeasureAllreduceTasks(cand.Cfg, meter)
-			est = autotune.EstimateAllreduce(at, m)
-		}
-		act := env.MeasureCollective(kind, m, cand.Cfg, 2, meter)
+	for i, cand := range cands {
+		est, act := ests[i], acts[i]
 		fmt.Printf("%-52s%14.1f%14.1f\n", cand.Cfg.String(), est*1e6, act*1e6)
 		if bestEst < 0 || est < bestEst {
 			bestEst, cfgEst = est, cand.Cfg
@@ -262,7 +283,7 @@ func Fig8and9(sc Scale, costOnly bool) {
 	}
 	results := make(map[autotune.Method]autotune.Result)
 	for _, m := range methods {
-		results[m] = autotune.RunSearch(env, sc.Space, kinds, m, autotune.SearchOpts{Iters: 2})
+		results[m] = autotune.RunSearch(env, sc.Space, kinds, m, autotune.SearchOpts{Iters: 2, Workers: expWorkers})
 	}
 
 	exCost := results[autotune.Exhaustive].Table.TuningCost
@@ -280,14 +301,19 @@ func Fig8and9(sc Scale, costOnly bool) {
 	fmt.Printf("%-28s%12s%12s%12s%12s%12s%12s%12s\n",
 		"input", "exh.best", "exh.median", "exh.avg", "exh+heur", "task", "task+heur", "")
 	meter := &autotune.Meter{}
-	for _, e := range results[autotune.Exhaustive].Table.Entries {
+	entries := results[autotune.Exhaustive].Table.Entries
+	picksFor := []autotune.Method{autotune.ExhaustiveHeuristics, autotune.TaskBased, autotune.Combined}
+	picks := make([]float64, len(entries)*len(picksFor))
+	fanOut(len(picks), func(j int) {
+		in := entries[j/len(picksFor)].In
+		cfg := results[picksFor[j%len(picksFor)]].Table.Decide(in.T, in.M)
+		picks[j] = env.MeasureCollective(in.T, in.M, cfg, 2, meter)
+	})
+	for i, e := range entries {
 		in := e.In
 		st := results[autotune.Exhaustive].Stats[in]
 		row := []float64{st.Best, st.Median, st.Average}
-		for _, m := range []autotune.Method{autotune.ExhaustiveHeuristics, autotune.TaskBased, autotune.Combined} {
-			cfg := results[m].Table.Decide(in.T, in.M)
-			row = append(row, env.MeasureCollective(in.T, in.M, cfg, 2, meter))
-		}
+		row = append(row, picks[i*len(picksFor):(i+1)*len(picksFor)]...)
 		fmt.Printf("%-28s", in.String())
 		for _, v := range row {
 			fmt.Printf("%12.1f", v*1e6)
@@ -301,11 +327,10 @@ func Fig8and9(sc Scale, costOnly bool) {
 // imbComparison drives the Figs 10/12/13/14 benchmark comparisons.
 func imbComparison(title string, spec cluster.Spec, kind coll.Kind, systems []bench.System, sizes []int) {
 	names := make([]string, len(systems))
-	points := make(map[string][]bench.Point)
 	for i, sys := range systems {
 		names[i] = sys.Name
-		points[sys.Name] = bench.IMB(spec, sys, kind, sizes)
 	}
+	points := bench.IMBAll(spec, systems, kind, sizes, bench.IMBOpts{}, expWorkers)
 	fmt.Print(bench.FormatTable(title+" (µs)", sizes, names, points))
 	// Speedup rows: HAN vs each rival.
 	fmt.Printf("%-10s", "speedup")
@@ -601,10 +626,16 @@ func AblateOverlap(sc Scale) {
 	env := autotune.NewEnv(sc.Tuning, mpi.OpenMPI())
 	meter := &autotune.Meter{}
 	m := 4 << 20
+	configs := taskConfigs(512 << 10)
+	overlapBTs := make([]autotune.BcastTasks, len(configs))
+	overlapActs := make([]float64, len(configs))
+	fanOut(len(configs), func(i int) {
+		overlapBTs[i] = env.MeasureBcastTasks(configs[i], meter)
+		overlapActs[i] = env.MeasureCollective(coll.Bcast, m, configs[i], 2, meter)
+	})
 	fmt.Printf("%-36s%12s%12s%12s%12s\n", "configuration", "actual µs", "HAN est", "perfect", "no-overlap")
-	for _, cfg := range taskConfigs(512 << 10) {
-		bt := env.MeasureBcastTasks(cfg, meter)
-		act := env.MeasureCollective(coll.Bcast, m, cfg, 2, meter)
+	for i, cfg := range configs {
+		bt, act := overlapBTs[i], overlapActs[i]
 		est := autotune.EstimateBcast(bt, m)
 		u := (m + cfg.FS - 1) / cfg.FS
 		perfect, noOverlap := 0.0, 0.0
@@ -634,18 +665,21 @@ func AblateHeuristics(sc Scale) {
 	header("Ablation — heuristics accuracy trade-off")
 	env := autotune.NewEnv(sc.Tuning, mpi.OpenMPI())
 	kinds := []coll.Kind{coll.Bcast}
-	ex := autotune.RunSearch(env, sc.Space, kinds, autotune.Exhaustive, autotune.SearchOpts{Iters: 2})
-	eh := autotune.RunSearch(env, sc.Space, kinds, autotune.ExhaustiveHeuristics, autotune.SearchOpts{Iters: 2})
+	ex := autotune.RunSearch(env, sc.Space, kinds, autotune.Exhaustive, autotune.SearchOpts{Iters: 2, Workers: expWorkers})
+	eh := autotune.RunSearch(env, sc.Space, kinds, autotune.ExhaustiveHeuristics, autotune.SearchOpts{Iters: 2, Workers: expWorkers})
 	fmt.Printf("search cost: full %.2fs, heuristics %.2fs (%.1f%%)\n",
 		ex.Table.TuningCost, eh.Table.TuningCost, 100*eh.Table.TuningCost/ex.Table.TuningCost)
 	meter := &autotune.Meter{}
+	hMeas := make([]float64, len(ex.Table.Entries))
+	fanOut(len(hMeas), func(i int) {
+		in := ex.Table.Entries[i].In
+		hMeas[i] = env.MeasureCollective(in.T, in.M, eh.Table.Decide(in.T, in.M), 2, meter)
+	})
 	fmt.Printf("%-28s%14s%18s%10s\n", "input", "full best µs", "heuristic pick µs", "loss")
-	for _, e := range ex.Table.Entries {
+	for i, e := range ex.Table.Entries {
 		in := e.In
-		hcfg := eh.Table.Decide(in.T, in.M)
-		hMeas := env.MeasureCollective(in.T, in.M, hcfg, 2, meter)
 		best := ex.Stats[in].Best
-		fmt.Printf("%-28s%14.1f%18.1f%9.1f%%\n", in.String(), best*1e6, hMeas*1e6, 100*(hMeas-best)/best)
+		fmt.Printf("%-28s%14.1f%18.1f%9.1f%%\n", in.String(), best*1e6, hMeas[i]*1e6, 100*(hMeas[i]-best)/best)
 	}
 	fmt.Println("\nExpected shape: heuristics cut cost sharply at a small (sometimes zero) accuracy loss.")
 }
@@ -706,7 +740,7 @@ func AblateOnline(sc Scale) {
 
 	// Offline: tune first (cost accounted separately), then run.
 	env := autotune.NewEnv(spec, mpi.OpenMPI())
-	res := autotune.RunSearch(env, sc.Space, []coll.Kind{coll.Bcast}, autotune.Combined, autotune.SearchOpts{})
+	res := autotune.RunSearch(env, sc.Space, []coll.Kind{coll.Bcast}, autotune.Combined, autotune.SearchOpts{Workers: expWorkers})
 	offlinePer := runCallSeq(spec, m, calls, func(h *han.HAN, tuner *autotune.OnlineTuner, p *mpi.Proc) {
 		h.Bcast(p, mpi.Phantom(m), 0, res.Table.Decide(coll.Bcast, m))
 	})

@@ -29,7 +29,9 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	ablate := flag.String("ablate", "", "ablation to run: pipeline, split, overlap, heuristics")
 	scale := flag.String("scale", "small", "experiment scale: small, mid, or paper")
+	workers := flag.Int("workers", 0, "concurrent measurement workers (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
+	expWorkers = *workers
 
 	sc, ok := scales[*scale]
 	if !ok {

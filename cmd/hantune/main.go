@@ -26,6 +26,7 @@ func main() {
 	ppn := flag.Int("ppn", 0, "override processes per node")
 	method := flag.String("method", "task", "tuning method: exhaustive, exhaustive+heur, task, task+heur")
 	out := flag.String("o", "han-tuning.json", "output lookup table path")
+	workers := flag.Int("workers", 0, "concurrent measurement workers (0 = GOMAXPROCS); the table is identical for any value")
 	flag.Parse()
 
 	var spec cluster.Spec
@@ -67,7 +68,7 @@ func main() {
 	env := autotune.NewEnv(spec, mpi.OpenMPI())
 	fmt.Printf("hantune: tuning %s (%d nodes x %d ppn) with the %s method...\n",
 		spec.Name, spec.Nodes, spec.PPN, m)
-	res := autotune.RunSearch(env, autotune.DefaultSpace(), []coll.Kind{coll.Bcast, coll.Allreduce}, m, autotune.SearchOpts{})
+	res := autotune.RunSearch(env, autotune.DefaultSpace(), []coll.Kind{coll.Bcast, coll.Allreduce}, m, autotune.SearchOpts{Workers: *workers})
 	t := res.Table
 	fmt.Printf("hantune: %d benchmark runs, %.2f s of (virtual) machine time\n",
 		t.Measurements, t.TuningCost)

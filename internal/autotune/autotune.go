@@ -23,6 +23,7 @@ import (
 
 	"github.com/hanrepro/han/internal/cluster"
 	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/fault"
 	"github.com/hanrepro/han/internal/han"
 	"github.com/hanrepro/han/internal/mpi"
 	"github.com/hanrepro/han/internal/sim"
@@ -143,20 +144,36 @@ type TaskSignature struct {
 	Cfg han.Config
 }
 
-// Env binds a machine spec and P2P personality for measurements.
+// Env binds a machine spec and P2P personality for measurements. Seed and
+// Faults, when set, apply to every measurement world the environment
+// creates, so a tuning sweep can be replayed bit-for-bit — including one
+// that tunes a degraded machine.
 type Env struct {
 	Spec cluster.Spec
 	Pers *mpi.Personality
+	// Seed reseeds each measurement world's RNG (0 keeps the default).
+	Seed int64
+	// Faults, when non-nil and non-zero, is injected into every
+	// measurement world.
+	Faults *fault.Plan
 }
 
 // NewEnv returns a measurement environment.
 func NewEnv(spec cluster.Spec, pers *mpi.Personality) Env { return Env{Spec: spec, Pers: pers} }
 
 // runWorld runs fn on all ranks of a fresh world and returns the final
-// virtual time.
+// virtual time. Each call builds a private engine, machine, and world, so
+// concurrent runWorlds never share simulation state — the property the
+// parallel executor relies on.
 func (e Env) runWorld(fn func(h *han.HAN, p *mpi.Proc)) sim.Time {
 	eng := sim.New()
 	w := mpi.NewWorld(cluster.NewMachine(eng, e.Spec), e.Pers)
+	if e.Seed != 0 {
+		w.Seed(e.Seed)
+	}
+	if e.Faults != nil && !e.Faults.IsZero() {
+		w.AttachFaults(*e.Faults)
+	}
 	h := han.New(w)
 	w.Start(func(p *mpi.Proc) { fn(h, p) })
 	if err := eng.Run(); err != nil {

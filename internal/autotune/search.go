@@ -5,7 +5,9 @@ import (
 	"sort"
 
 	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/exec"
 	"github.com/hanrepro/han/internal/han"
+	"github.com/hanrepro/han/internal/metrics"
 )
 
 // Method selects a tuning strategy — the four bars of Fig 8.
@@ -23,6 +25,9 @@ const (
 	// Combined is TaskBased plus heuristics — the paper's 4.3% bar.
 	Combined
 )
+
+// Methods lists every tuning method, in Fig 8 order.
+var Methods = []Method{Exhaustive, ExhaustiveHeuristics, TaskBased, Combined}
 
 // String returns the method name used in reports.
 func (m Method) String() string {
@@ -47,6 +52,13 @@ type SearchOpts struct {
 	// Iters is the number of timed iterations per end-to-end measurement
 	// (exhaustive searches). Defaults to 2.
 	Iters int
+	// Workers is the number of host workers measuring concurrently.
+	// 0 means GOMAXPROCS; 1 forces a serial sweep. The resulting table is
+	// byte-identical regardless of the value (DESIGN.md §10).
+	Workers int
+	// Metrics, when set, receives the executor's exec_* scheduling
+	// counters after the sweep.
+	Metrics *metrics.Registry
 }
 
 // ExhaustiveStats summarises the full measured distribution for one input —
@@ -62,79 +74,180 @@ type Result struct {
 	Stats map[Input]ExhaustiveStats
 }
 
+// searchPoint is one input of the sweep with its expanded candidate list —
+// the unit the canonical merge walks.
+type searchPoint struct {
+	in    Input
+	kind  coll.Kind
+	m     int
+	cands []Candidate
+}
+
+// taskRun pairs a task-cost measurement with the meter that recorded it, so
+// the merge phase can account the measurement's cost exactly once, at the
+// configuration's first canonical encounter.
+type taskRun[T any] struct {
+	tasks T
+	meter *Meter
+}
+
 // RunSearch tunes the given collective kinds over the space with the given
 // method, returning the lookup table (step 1 of section III-C). The tuning
 // cost reported in the table is virtual machine time, directly comparable
 // across methods as in Fig 8.
+//
+// Measurements fan out across opts.Workers host workers (internal/exec).
+// Every (input, candidate) pair is an independent job that builds a private
+// world, writes its cost into an index-addressed slot, and records its
+// benchmark cost in a private Meter; for task-based methods a single-flight
+// cache guarantees each distinct configuration is measured exactly once,
+// preserving the paper's T×S×N×P×A accounting. Everything order-sensitive —
+// meter accumulation, best-candidate tie-breaking, table append order —
+// happens after the jobs finish, in canonical enumeration order, so the
+// result is byte-identical no matter how many workers ran.
 func RunSearch(env Env, space Space, kinds []coll.Kind, method Method, opts SearchOpts) Result {
 	if opts.Iters <= 0 {
 		opts.Iters = 2
 	}
-	meter := &Meter{}
-	table := &Table{Machine: env.Spec.Name, Method: method.String()}
-	stats := make(map[Input]ExhaustiveStats)
+	x := exec.New(opts.Workers)
 
-	// Task-cost caches shared across message sizes AND collective kinds
-	// (tasks like sb are common to Bcast and Allreduce, one of the paper's
-	// three sources of savings).
-	bcastCache := make(map[han.Config]BcastTasks)
-	allredCache := make(map[han.Config]AllreduceTasks)
-
+	// Phase 1 — canonical enumeration. The flat job order fixed here is
+	// the one the merge phase replays.
+	var points []searchPoint
+	var jobPoint, jobCand []int
 	for _, kind := range kinds {
 		for _, m := range space.Msgs {
-			in := Input{N: env.Spec.Nodes, P: env.Spec.PPN, M: m, T: kind}
 			cands := space.Expand(kind, m, method.heuristics(), env.Spec.Nodes)
 			if len(cands) == 0 {
 				continue
 			}
-			bestCfg := cands[0].Cfg
-			bestCost := -1.0
-			var all []float64
-			for _, cand := range cands {
-				var cost float64
-				if method.taskBased() {
-					switch kind {
-					case coll.Bcast:
-						bt, ok := bcastCache[cand.Cfg]
-						if !ok {
-							bt = env.MeasureBcastTasks(cand.Cfg, meter)
-							bcastCache[cand.Cfg] = bt
-						}
-						cost = EstimateBcast(bt, m)
-					case coll.Allreduce:
-						at, ok := allredCache[cand.Cfg]
-						if !ok {
-							at = env.MeasureAllreduceTasks(cand.Cfg, meter)
-							allredCache[cand.Cfg] = at
-						}
-						cost = EstimateAllreduce(at, m)
-					default:
-						panic("autotune: task-based search supports bcast and allreduce")
-					}
-				} else {
-					cost = env.MeasureCollective(kind, m, cand.Cfg, opts.Iters, meter)
-					all = append(all, cost)
-				}
-				if bestCost < 0 || cost < bestCost {
-					bestCost, bestCfg = cost, cand.Cfg
-				}
+			pi := len(points)
+			points = append(points, searchPoint{
+				in:    Input{N: env.Spec.Nodes, P: env.Spec.PPN, M: m, T: kind},
+				kind:  kind,
+				m:     m,
+				cands: cands,
+			})
+			for ci := range cands {
+				jobPoint = append(jobPoint, pi)
+				jobCand = append(jobCand, ci)
 			}
-			table.Entries = append(table.Entries, Entry{In: in, Cfg: bestCfg, EstCost: bestCost})
-			if len(all) > 0 {
-				sort.Float64s(all)
-				sum := 0.0
-				for _, v := range all {
-					sum += v
+		}
+	}
+
+	// Phase 2 — parallel measurement into index-addressed slots. Task
+	// costs are shared across message sizes AND collective kinds (tasks
+	// like sb are common to Bcast and Allreduce, one of the paper's three
+	// sources of savings); the single-flight caches keep that sharing
+	// under concurrency without re-measuring a config.
+	costs := make([]float64, len(jobPoint))
+	bcastFlight := exec.NewFlight[han.Config, taskRun[BcastTasks]](x.Stats())
+	allredFlight := exec.NewFlight[han.Config, taskRun[AllreduceTasks]](x.Stats())
+	var jobMeters []*Meter
+	if method.taskBased() {
+		x.Run(len(jobPoint), func(j int) {
+			p := points[jobPoint[j]]
+			cfg := p.cands[jobCand[j]].Cfg
+			switch p.kind {
+			case coll.Bcast:
+				r := bcastFlight.Do(cfg, func() taskRun[BcastTasks] {
+					lm := &Meter{}
+					return taskRun[BcastTasks]{tasks: env.MeasureBcastTasks(cfg, lm), meter: lm}
+				})
+				costs[j] = EstimateBcast(r.tasks, p.m)
+			case coll.Allreduce:
+				r := allredFlight.Do(cfg, func() taskRun[AllreduceTasks] {
+					lm := &Meter{}
+					return taskRun[AllreduceTasks]{tasks: env.MeasureAllreduceTasks(cfg, lm), meter: lm}
+				})
+				costs[j] = EstimateAllreduce(r.tasks, p.m)
+			default:
+				panic("autotune: task-based search supports bcast and allreduce")
+			}
+		})
+	} else {
+		jobMeters = make([]*Meter, len(jobPoint))
+		x.Run(len(jobPoint), func(j int) {
+			p := points[jobPoint[j]]
+			lm := &Meter{}
+			costs[j] = env.MeasureCollective(p.kind, p.m, p.cands[jobCand[j]].Cfg, opts.Iters, lm)
+			jobMeters[j] = lm
+		})
+	}
+
+	// Phase 3 — serial merge in canonical order. Float accumulation is not
+	// associative and best-candidate selection is order-sensitive (strict
+	// <, first winner kept), so both replay the enumeration order of phase
+	// 1; workers=1 takes the same path, which is why worker count cannot
+	// change a byte of the output.
+	meter := &Meter{}
+	table := &Table{Machine: env.Spec.Name, Method: method.String()}
+	stats := make(map[Input]ExhaustiveStats)
+	accountedBcast := make(map[han.Config]bool)
+	accountedAllred := make(map[han.Config]bool)
+	j := 0
+	for _, p := range points {
+		bestCfg := p.cands[0].Cfg
+		bestCost := -1.0
+		var all []float64
+		for ci := range p.cands {
+			cost := costs[j]
+			if method.taskBased() {
+				cfg := p.cands[ci].Cfg
+				switch p.kind {
+				case coll.Bcast:
+					if !accountedBcast[cfg] {
+						accountedBcast[cfg] = true
+						if r, ok := bcastFlight.Get(cfg); ok {
+							meter.Merge(r.meter)
+						}
+					}
+				case coll.Allreduce:
+					if !accountedAllred[cfg] {
+						accountedAllred[cfg] = true
+						if r, ok := allredFlight.Get(cfg); ok {
+							meter.Merge(r.meter)
+						}
+					}
 				}
-				stats[in] = ExhaustiveStats{
-					Best:    all[0],
-					Median:  all[len(all)/2],
-					Average: sum / float64(len(all)),
-				}
+			} else {
+				meter.Merge(jobMeters[j])
+				all = append(all, cost)
+			}
+			if bestCost < 0 || cost < bestCost {
+				bestCost, bestCfg = cost, p.cands[ci].Cfg
+			}
+			j++
+		}
+		table.Entries = append(table.Entries, Entry{In: p.in, Cfg: bestCfg, EstCost: bestCost})
+		if len(all) > 0 {
+			sort.Float64s(all)
+			sum := 0.0
+			for _, v := range all {
+				sum += v
+			}
+			stats[p.in] = ExhaustiveStats{
+				Best:    all[0],
+				Median:  median(all),
+				Average: sum / float64(len(all)),
 			}
 		}
 	}
 	table.TuningCost = meter.Virtual
 	table.Measurements = meter.Runs
+	x.Stats().Publish(opts.Metrics, x.Workers())
 	return Result{Table: table, Stats: stats}
+}
+
+// median of a sorted slice: the middle element, or the mean of the two
+// middle elements for even lengths.
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
 }

@@ -1,6 +1,8 @@
 package autotune
 
 import (
+	"sync"
+
 	"github.com/hanrepro/han/internal/coll"
 	"github.com/hanrepro/han/internal/han"
 	"github.com/hanrepro/han/internal/mpi"
@@ -10,16 +12,41 @@ import (
 // Meter accumulates the cost of benchmarking: the total virtual machine
 // time consumed and the number of individual benchmark runs. It is what
 // Fig 8 reports for each tuning method.
+//
+// Accumulation is safe under concurrent measurement jobs, but note that
+// float addition is not associative: a parallel sweep that wants
+// byte-identical totals across worker counts must give each job its own
+// Meter and Merge them in canonical order afterwards (RunSearch does).
+// Always pass Meters by pointer; the mutex makes copies invalid.
 type Meter struct {
+	mu      sync.Mutex
 	Virtual float64 // seconds of simulated machine time
 	Runs    int
 }
 
 func (m *Meter) add(t sim.Time) {
 	if m != nil {
+		m.mu.Lock()
 		m.Virtual += float64(t)
 		m.Runs++
+		m.mu.Unlock()
 	}
+}
+
+// Merge folds another meter's totals into m. RunSearch's serial merge
+// phase uses it to combine per-job meters in canonical enumeration order,
+// which is what keeps TuningCost byte-identical across worker counts.
+func (m *Meter) Merge(d *Meter) {
+	if m == nil || d == nil {
+		return
+	}
+	d.mu.Lock()
+	v, r := d.Virtual, d.Runs
+	d.mu.Unlock()
+	m.mu.Lock()
+	m.Virtual += v
+	m.Runs += r
+	m.mu.Unlock()
 }
 
 // SBIBSeriesLen is how many pipeline iterations the task benchmark runs to

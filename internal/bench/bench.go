@@ -12,6 +12,7 @@ import (
 
 	"github.com/hanrepro/han/internal/cluster"
 	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/exec"
 	"github.com/hanrepro/han/internal/fault"
 	"github.com/hanrepro/han/internal/han"
 	"github.com/hanrepro/han/internal/metrics"
@@ -213,6 +214,27 @@ func IMBWith(spec cluster.Spec, sys System, kind coll.Kind, sizes []int, o IMBOp
 		points[i] = Point{Size: size, Seconds: sum / float64(ItersFor(size))}
 	}
 	return points
+}
+
+// IMBAll runs the IMB benchmark for several systems concurrently, fanning
+// one job per system across `workers` host workers (internal/exec), and
+// returns the per-system point slices. Each job builds its own world, so
+// the points are identical to running IMBWith serially per system. When
+// o.Metrics is set the sweep is forced serial: the metrics registry is
+// single-threaded by design, and all systems share it.
+func IMBAll(spec cluster.Spec, systems []System, kind coll.Kind, sizes []int, o IMBOpts, workers int) map[string][]Point {
+	if o.Metrics != nil {
+		workers = 1
+	}
+	results := make([][]Point, len(systems))
+	exec.New(workers).Run(len(systems), func(i int) {
+		results[i] = IMBWith(spec, systems[i], kind, sizes, o)
+	})
+	out := make(map[string][]Point, len(systems))
+	for i, sys := range systems {
+		out[sys.Name] = results[i]
+	}
+	return out
 }
 
 // BWPoint is one Netpipe result row.

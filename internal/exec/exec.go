@@ -1,0 +1,219 @@
+// Package exec implements the parallel measurement executor: a
+// work-stealing pool that fans independent simulated worlds out across
+// host CPUs while preserving the repository's core invariant — results
+// are byte-identical regardless of worker count.
+//
+// The contract has three legs:
+//
+//  1. Jobs are independent. Each job owns every sim.Engine (world, flow
+//     network, seeded RNG) it touches: the engine is created inside the
+//     job body and dropped before it returns. Parallelism therefore
+//     decides only *when* a measurement runs on the host, never what
+//     virtual times it observes.
+//  2. The executor is engine-agnostic. It treats jobs as opaque closures
+//     and never imports the simulation packages — hanlint's enginebound
+//     pass enforces the import ban, and its simtime pass forbids bare
+//     goroutines everywhere else, so the only host goroutines in the
+//     tree run executor jobs.
+//  3. Callers merge serially. Jobs write results into index-addressed
+//     slots; everything order-sensitive (float accumulation, best-so-far
+//     tie-breaking, table append order) happens after Run returns, in
+//     canonical job-index order. See autotune.RunSearch for the pattern.
+//
+// Scheduling is work-stealing: the job index space is block-partitioned
+// across workers, each worker pops from the tail of its own deque, and a
+// worker that runs dry steals the front half of the fullest remaining
+// deque. Measurement jobs have wildly uneven costs (a 4 MB exhaustive
+// run vs a cache hit), so stealing — not static partitioning — is what
+// keeps all cores busy through the tail of a sweep.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Executor fans independent jobs out across a fixed set of host workers.
+// An Executor is cheap to create; make one per sweep so its Stats isolate
+// that sweep's scheduling behaviour.
+type Executor struct {
+	workers int
+	stats   *Stats
+}
+
+// New returns an executor with the given worker count. workers <= 0 means
+// GOMAXPROCS — one worker per schedulable CPU.
+func New(workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{workers: workers, stats: &Stats{}}
+}
+
+// Workers returns the configured worker count.
+func (x *Executor) Workers() int { return x.workers }
+
+// Stats returns the executor's scheduling counters. Counter reads are safe
+// at any time; Publish must wait until no Run is in flight.
+func (x *Executor) Stats() *Stats { return x.stats }
+
+// Run executes job(0..n-1) across the workers and returns when every job
+// has finished. Jobs must be independent (no job may read state another
+// job writes); results belong in index-addressed slots captured by the
+// closure. If a job panics, Run re-panics the first panic in the caller's
+// goroutine after all workers have drained.
+func (x *Executor) Run(n int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := x.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: same job order a one-worker pool would pick,
+		// without the goroutine round-trip.
+		for i := 0; i < n; i++ {
+			x.stats.jobs.Add(1)
+			job(i)
+		}
+		return
+	}
+
+	// Block-partition the index space: worker w starts with the contiguous
+	// range [w*n/workers, (w+1)*n/workers).
+	deques := make([]*deque, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		jobs := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			jobs = append(jobs, i)
+		}
+		deques[w] = &deque{jobs: jobs}
+		x.stats.noteQueueDepth(int64(len(jobs)))
+	}
+
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal interface{}
+		panicked bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if !panicked {
+						panicked, panicVal = true, r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			x.worker(deques, self, job)
+		}(w)
+	}
+	wg.Wait()
+	if panicked {
+		panic(fmt.Sprintf("exec: job panicked: %v", panicVal))
+	}
+}
+
+// worker drains its own deque, stealing from the fullest sibling when dry.
+// Jobs never enqueue jobs, so "every deque empty" means done.
+func (x *Executor) worker(deques []*deque, self int, job func(i int)) {
+	own := deques[self]
+	for {
+		i, ok := own.pop()
+		if !ok {
+			stolen := x.steal(deques, self)
+			if stolen == nil {
+				return
+			}
+			own.push(stolen)
+			x.stats.noteQueueDepth(int64(len(stolen)))
+			continue
+		}
+		x.stats.jobs.Add(1)
+		x.stats.noteRunning(+1)
+		job(i)
+		x.stats.noteRunning(-1)
+	}
+}
+
+// steal takes the front half of the fullest sibling deque, or nil when
+// every deque is empty.
+func (x *Executor) steal(deques []*deque, self int) []int {
+	// Pick the victim with the most pending work so one steal amortises
+	// the locking; sizes race benignly (a stale read just picks a slightly
+	// worse victim, and takeHalf re-checks under the victim's lock).
+	victim, best := -1, 0
+	for v := range deques {
+		if v == self {
+			continue
+		}
+		if n := deques[v].size(); n > best {
+			victim, best = v, n
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	stolen := deques[victim].takeHalf()
+	if len(stolen) == 0 {
+		return nil
+	}
+	x.stats.steals.Add(1)
+	x.stats.stolen.Add(uint64(len(stolen)))
+	return stolen
+}
+
+// deque is one worker's pending-job queue. The owner pops from the tail;
+// thieves take from the head, so owner and thief contend only on the
+// mutex, never on the same end's ordering.
+type deque struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+func (d *deque) pop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.jobs)
+	if n == 0 {
+		return 0, false
+	}
+	i := d.jobs[n-1]
+	d.jobs = d.jobs[:n-1]
+	return i, true
+}
+
+func (d *deque) push(jobs []int) {
+	d.mu.Lock()
+	d.jobs = append(d.jobs, jobs...)
+	d.mu.Unlock()
+}
+
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.jobs)
+}
+
+// takeHalf removes and returns the front half (rounding up) of the deque.
+func (d *deque) takeHalf() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.jobs)
+	if n == 0 {
+		return nil
+	}
+	k := (n + 1) / 2
+	stolen := make([]int, k)
+	copy(stolen, d.jobs[:k])
+	d.jobs = append(d.jobs[:0], d.jobs[k:]...)
+	return stolen
+}

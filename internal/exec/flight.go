@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Flight is a single-flight measurement cache: the first requester of a
+// key runs the measurement, concurrent requesters for the same key block
+// on its result instead of re-measuring, and later requesters get the
+// cached value immediately. autotune's task-cost caches are Flights keyed
+// by han.Config — under a parallel sweep each distinct configuration is
+// still measured exactly once, which is what preserves the paper's
+// T x S x N x P x A tuning-cost accounting (section III-C).
+//
+// The zero Flight is not usable; create one with NewFlight. A Flight is
+// safe for concurrent use by executor jobs.
+type Flight[K comparable, V any] struct {
+	stats *Stats
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done   chan struct{}
+	val    V
+	failed bool
+}
+
+// NewFlight returns an empty cache. stats may be nil; when set, cache
+// hits, misses, and waits are counted into it.
+func NewFlight[K comparable, V any](stats *Stats) *Flight[K, V] {
+	return &Flight[K, V]{stats: stats, calls: make(map[K]*flightCall[V])}
+}
+
+// Do returns the value for key, computing it with fn if this is the first
+// request. Exactly one call of fn happens per distinct key, no matter how
+// many goroutines request it concurrently; the others block until the
+// computation finishes. fn must be deterministic in key — every requester
+// receives the first computation's value.
+func (f *Flight[K, V]) Do(key K, fn func() V) V {
+	f.mu.Lock()
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		waited := false
+		select {
+		case <-c.done:
+		default:
+			waited = true
+		}
+		// Count the hit before blocking so a wait is observable while it is
+		// still in progress.
+		f.stats.noteCache(true, waited)
+		<-c.done
+		if c.failed {
+			panic(fmt.Sprintf("exec: single-flight computation for %v panicked in another requester", key))
+		}
+		return c.val
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+	f.stats.noteCache(false, false)
+
+	completed := false
+	defer func() {
+		if !completed {
+			// fn panicked: release waiters with a poisoned entry so they
+			// fail loudly instead of deadlocking, and let the panic
+			// propagate to the executor's collector.
+			c.failed = true
+			close(c.done)
+		}
+	}()
+	c.val = fn()
+	completed = true
+	close(c.done)
+	return c.val
+}
+
+// Get returns the completed value for key, if any. It never blocks: a key
+// whose computation is still in flight reports false. Callers use it in
+// the serial merge phase, after every job has finished.
+func (f *Flight[K, V]) Get(key K) (V, bool) {
+	f.mu.Lock()
+	c, ok := f.calls[key]
+	f.mu.Unlock()
+	if !ok || c.failed {
+		var zero V
+		return zero, false
+	}
+	select {
+	case <-c.done:
+		return c.val, true
+	default:
+		var zero V
+		return zero, false
+	}
+}
+
+// Len returns the number of distinct keys ever requested.
+func (f *Flight[K, V]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// engineOwningPkgs are the packages whose types are bound to a sim.Engine:
+// importing any of them gives code a handle it could use to touch an
+// engine it does not own.
+var engineOwningPkgs = []string{
+	"internal/sim",
+	"internal/flow",
+	"internal/mpi",
+	"internal/cluster",
+	"internal/han",
+	"internal/coll",
+	"internal/rivals",
+	"internal/apps",
+	"internal/autotune",
+	"internal/bench",
+	"internal/fault",
+	"internal/trace",
+}
+
+// EngineboundAnalyzer forbids internal/exec from importing any
+// engine-owning package. It is the second leg of the no-shared-engine
+// proof: simtime bans raw go statements everywhere else, so the only host
+// goroutines in the tree are executor workers — and this pass guarantees
+// those workers see jobs as opaque closures, with no vocabulary to reach
+// into a sim.Engine, world, or flow network they do not own. Together the
+// two passes enforce, statically, that no goroutine ever touches an
+// engine another goroutine is driving (sim package ownership contract,
+// DESIGN.md §10).
+var EngineboundAnalyzer = &Analyzer{
+	Name: "enginebound",
+	Doc: "forbid internal/exec from importing engine-owning packages (sim, mpi, " +
+		"flow, ...); the executor must treat jobs as opaque closures so host " +
+		"concurrency can never reach simulation state it does not own",
+	AppliesTo: engineboundApplies,
+	Run:       runEnginebound,
+}
+
+func engineboundApplies(pkgPath string) bool {
+	if pkgPath == "internal/exec" || strings.HasSuffix(pkgPath, "/internal/exec") {
+		return true
+	}
+	// Fixture packages opt in by name so the pass is testable.
+	return strings.HasPrefix(pathBase(pkgPath), "enginebound")
+}
+
+func runEnginebound(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, banned := range engineOwningPkgs {
+				if path == banned || strings.HasSuffix(path, "/"+banned) {
+					pass.Reportf(imp.Path.Pos(),
+						"the executor must stay engine-agnostic: import of %s hands host "+
+							"goroutines simulation state they do not own; pass opaque closures instead",
+						path)
+				}
+			}
+		}
+	}
+}

@@ -78,6 +78,7 @@ func All() []*Analyzer {
 		MaporderAnalyzer,
 		ReqwaitAnalyzer,
 		TypederrAnalyzer,
+		EngineboundAnalyzer,
 	}
 }
 

@@ -1,6 +1,10 @@
 package lint_test
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
 	"testing"
 
 	"github.com/hanrepro/han/internal/lint"
@@ -31,6 +35,78 @@ func TestReqwait(t *testing.T) {
 
 func TestTypederr(t *testing.T) {
 	linttest.Run(t, lint.TypederrAnalyzer, "typederrfix")
+}
+
+// TestSimtimeScope pins the executor exemption: internal/exec is the one
+// package allowed to spawn host goroutines (the enginebound pass keeps it
+// away from engine state); everything else stays under the ban.
+func TestSimtimeScope(t *testing.T) {
+	applies := lint.SimtimeAnalyzer.AppliesTo
+	for path, want := range map[string]bool{
+		"github.com/hanrepro/han/internal/exec": false,
+		"internal/exec":                         false,
+		"github.com/hanrepro/han/internal/sim":  true,
+		"github.com/hanrepro/han/internal/mpi":  true,
+		"simtime":                               true,
+	} {
+		if got := applies(path); got != want {
+			t.Errorf("simtime.AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestEngineboundScope pins the inverse scoping: the import ban applies
+// ONLY to internal/exec (and opt-in fixtures) — it is the price of that
+// package's simtime exemption.
+func TestEngineboundScope(t *testing.T) {
+	applies := lint.EngineboundAnalyzer.AppliesTo
+	for path, want := range map[string]bool{
+		"github.com/hanrepro/han/internal/exec":     true,
+		"internal/exec":                             true,
+		"github.com/hanrepro/han/internal/sim":      false,
+		"github.com/hanrepro/han/internal/autotune": false,
+		"enginebound":                               true,
+	} {
+		if got := applies(path); got != want {
+			t.Errorf("enginebound.AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestEnginebound feeds the pass a synthetic executor file. The pass reads
+// only the import table, so the package is hand-built from a parse — no
+// type-checking needed.
+func TestEnginebound(t *testing.T) {
+	const src = `package exec
+
+import (
+	"sync"
+
+	"github.com/hanrepro/han/internal/metrics"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+var _ sync.Mutex
+var _ = metrics.Opts{}
+var _ = sim.Time(0)
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "exec.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &lint.Package{
+		Path:  "github.com/hanrepro/han/internal/exec",
+		Fset:  fset,
+		Files: []*ast.File{f},
+	}
+	diags := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.EngineboundAnalyzer})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 (sim banned, sync and metrics allowed): %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "internal/sim") {
+		t.Errorf("diagnostic does not name the banned import: %s", diags[0].Message)
+	}
 }
 
 // TestTypederrScope pins the pass's package scoping: it must apply to the

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"strings"
 )
 
 // wallClockFuncs are the package time entry points that read or wait on
@@ -30,7 +31,17 @@ var SimtimeAnalyzer = &Analyzer{
 	Name: "simtime",
 	Doc: "forbid wall-clock time (time.Now, time.Sleep, ...) and raw go statements " +
 		"in simulation code; use sim.Time, Proc.Sleep, and Engine.Spawn",
-	Run: runSimtime,
+	AppliesTo: simtimeApplies,
+	Run:       runSimtime,
+}
+
+// simtimeApplies exempts internal/exec, the one package allowed to spawn
+// host goroutines: its workers run measurement jobs as opaque closures,
+// and the enginebound pass keeps it from importing any engine-owning
+// package, so the exemption cannot leak host concurrency into simulation
+// state.
+func simtimeApplies(pkgPath string) bool {
+	return pkgPath != "internal/exec" && !strings.HasSuffix(pkgPath, "/internal/exec")
 }
 
 func runSimtime(pass *Pass) {

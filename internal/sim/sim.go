@@ -15,6 +15,20 @@
 // schedule tens of millions of events) recycle event structs instead of
 // churning the garbage collector. Timer handles stay safe across recycling
 // through a generation counter.
+//
+// # Ownership
+//
+// An Engine — together with every Proc, network, and world attached to it
+// — is owned by exactly one goroutine-group at a time: the goroutine that
+// calls Run plus the process goroutines Run serialises through the baton
+// protocol. Nothing in the engine is locked, so touching an engine from
+// any other goroutine is a data race. Engine.Run asserts it is not
+// re-entered, and hanlint enforces the invariant statically: the simtime
+// pass forbids bare `go` statements everywhere except internal/exec, and
+// the enginebound pass forbids internal/exec from importing any
+// engine-owning package — so the only host concurrency in the tree runs
+// opaque executor jobs, each of which builds and drains a private engine
+// (DESIGN.md §10).
 package sim
 
 import (
@@ -134,6 +148,12 @@ type Engine struct {
 	// stopErr, when set via Stop, aborts Run with that error after the
 	// current event finishes dispatching.
 	stopErr error
+	// running guards against two goroutines driving one engine: Run
+	// asserts it is not already set. It is a plain bool on purpose — the
+	// ownership contract says a second concurrent Run must never happen,
+	// so a racy read only affects how reliably the violation is reported,
+	// never a correct program.
+	running bool
 }
 
 // New returns a ready-to-use Engine with the clock at zero.
@@ -583,6 +603,11 @@ func (e *ErrEventBudget) Error() string {
 // *ErrEventBudget if MaxEvents was exceeded, or the error passed to Stop if
 // the run was aborted. A panic inside a process is re-panicked from Run.
 func (e *Engine) Run() error {
+	if e.running {
+		panic("sim: Engine.Run re-entered; an Engine is owned by one goroutine-group at a time (see the package ownership contract)")
+	}
+	e.running = true
+	defer func() { e.running = false }()
 	for len(e.events) > 0 {
 		if e.MaxEvents != 0 && e.dispatched >= e.MaxEvents {
 			return &ErrEventBudget{Dispatched: e.dispatched}
