@@ -29,7 +29,8 @@ race:
 	$(GO) test -race ./...
 
 ci: build lint race
-	$(GO) test -race -count=1 -run 'Differential|Parity|Deterministic' ./internal/flow/ .
+	$(GO) test -race -count=1 -run 'Differential|Parity|Deterministic' ./internal/flow/ ./internal/mpi/ .
+	$(GO) test -race -count=1 -run 'ScaleSmoke' .
 
 # Fault matrix: every builtin plan across three seeds (what the CI
 # fault-matrix job runs, one cell per runner).
@@ -51,9 +52,14 @@ docs:
 	tail -n +2 results/critpath-fig2.txt | diff - bin/fig2.txt
 	$(GO) test -count=1 ./internal/docs/
 
-# Allocator micro-benchmarks: incremental vs reference, side by side.
+# Allocator benchmarks, micro to macro: the flow-level rebalance
+# micro-benchmarks (incremental vs reference), the paper-scale 4096-rank
+# wall-clock point on both allocation paths, and the 98304-rank phantom
+# scale tier with its memory accounting. Compare against
+# BENCH_allocator.json; regenerate that baseline from this output.
 bench-alloc:
 	$(GO) test -run xxx -bench Rebalance -benchmem ./internal/flow/
+	$(GO) test -run xxx -bench 'Fig10Scale4096|Scale98k' -benchtime 1x -benchmem .
 
 # Parallel tuning-sweep benchmark: serial vs parallel RunSearch wall-clock
 # (tables are byte-identical across the worker axis). Compare against

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"github.com/hanrepro/han/internal/apps"
+	"github.com/hanrepro/han/internal/arena"
 	"github.com/hanrepro/han/internal/autotune"
 	"github.com/hanrepro/han/internal/bench"
 	"github.com/hanrepro/han/internal/cluster"
@@ -206,6 +207,18 @@ func BenchmarkFig10Scale4096(b *testing.B) {
 	b.ReportMetric(hanT*1e6, "sim-us/HAN")
 }
 
+func BenchmarkFig10Scale4096RefPool(b *testing.B) {
+	prev := arena.Default
+	arena.Default = false
+	defer func() { arena.Default = prev }()
+	spec := cluster.ShaheenII()
+	var hanT float64
+	for i := 0; i < b.N; i++ {
+		hanT = imbPoint(spec, bench.HANSystem(nil), coll.Bcast, 256<<10)
+	}
+	b.ReportMetric(hanT*1e6, "sim-us/HAN")
+}
+
 func BenchmarkFig10Scale4096RefAlloc(b *testing.B) {
 	prev := flow.DefaultAllocator
 	flow.DefaultAllocator = flow.Reference
@@ -216,6 +229,67 @@ func BenchmarkFig10Scale4096RefAlloc(b *testing.B) {
 		hanT = imbPoint(spec, bench.HANSystem(nil), coll.Bcast, 256<<10)
 	}
 	b.ReportMetric(hanT*1e6, "sim-us/HAN")
+}
+
+// BenchmarkScale98k is the phantom scale tier: one payload-free HAN
+// broadcast on a 3072-node x 32-ppn ShaheenII-ratio machine — 98304
+// simulated ranks, 24x the paper's largest evaluation. No barriers, no
+// warm-up; the tier measures the simulator's own footprint at six-figure
+// rank counts. BENCH_allocator.json documents its memory budget: total
+// runtime footprint (MB-sys/op) must stay under 2 GiB.
+func BenchmarkScale98k(b *testing.B) {
+	var r bench.ScaleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.ScaleBcast(bench.ScaleSpec(bench.ScaleNodes), 256<<10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.SimSeconds*1e6, "sim-us/op")
+	b.ReportMetric(float64(r.SysBytes)/1e6, "MB-sys/op")
+	b.ReportMetric(float64(r.Mallocs), "mallocs/op")
+}
+
+// TestScaleSmoke is the trimmed scale-tier run CI exercises under -race:
+// the same payload-free harness at 2048 ranks, with the memory accounting
+// sanity-checked. The full 98304-rank point lives in BenchmarkScale98k.
+func TestScaleSmoke(t *testing.T) {
+	spec := bench.ScaleSpec(64) // 64 x 32 = 2048 ranks
+	r, err := bench.ScaleBcast(spec, 256<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ranks != 2048 {
+		t.Fatalf("ranks = %d, want 2048", r.Ranks)
+	}
+	if r.SimSeconds <= 0 {
+		t.Fatalf("sim time = %v, want > 0", r.SimSeconds)
+	}
+	// The scale tier's budget is ~12 KB of footprint per rank at 98k
+	// ranks; at 2k ranks give generous slack for the runtime's fixed
+	// overhead (and the race detector's, in CI).
+	if r.SysBytes > 2<<30 {
+		t.Fatalf("runtime footprint %d bytes at 2048 ranks blows the scale budget", r.SysBytes)
+	}
+	t.Log(r)
+}
+
+// TestPoolingParityEndToEnd runs a full HAN broadcast through the whole
+// MPI stack with arena pooling on and off and requires bit-identical
+// virtual times — the end-to-end form of internal/mpi's and
+// internal/flow's pooled-vs-reference differential suites.
+func TestPoolingParityEndToEnd(t *testing.T) {
+	measure := func(pooled bool) uint64 {
+		prev := arena.Default
+		arena.Default = pooled
+		defer func() { arena.Default = prev }()
+		return math.Float64bits(imbPoint(shaheenSmall(), bench.HANSystem(nil), coll.Bcast, 4<<20))
+	}
+	pooled, ref := measure(true), measure(false)
+	if pooled != ref {
+		t.Fatalf("pooling changes end-to-end time: pooled %016x vs reference %016x", pooled, ref)
+	}
 }
 
 // TestAllocatorParityEndToEnd runs a full HAN broadcast through the whole

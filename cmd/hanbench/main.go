@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/hanrepro/han/internal/arena"
 	"github.com/hanrepro/han/internal/autotune"
 	"github.com/hanrepro/han/internal/bench"
 	"github.com/hanrepro/han/internal/cluster"
@@ -35,6 +36,8 @@ func main() {
 	sizesFlag := flag.String("sizes", "", "comma-separated message sizes in bytes (default: IMB small+large sweep)")
 	tablePath := flag.String("table", "", "autotuning lookup table (JSON) to drive HAN's decisions")
 	refAlloc := flag.Bool("refalloc", false, "use the from-scratch reference rate allocator instead of the incremental one (A/B debugging; results are bit-identical, only wall-clock differs)")
+	refPool := flag.Bool("refpool", false, "disable arena pooling of flows and P2P records (A/B debugging; results are bit-identical, only wall-clock and allocation volume differ)")
+	scaleTier := flag.Bool("scale", false, "run the payload-free phantom scale tier instead of the IMB sweep: one HAN broadcast of the first size, no barriers, with memory accounting (use -nodes/-ppn to set the world; default 3072x32 = 98304 ranks)")
 	faultsFlag := flag.String("faults", "", "built-in fault plan to inject: "+strings.Join(fault.BuiltinNames(), ", "))
 	seed := flag.Int64("seed", 0, "RNG seed for jitter and fault draws (0 = library default); the (seed, faults) pair fully determines the run")
 	metricsOut := flag.String("metrics", "", "write an OpenMetrics text export of the sweep's runtime counters to this file (docs/OBSERVABILITY.md)")
@@ -44,11 +47,17 @@ func main() {
 	if *refAlloc {
 		flow.DefaultAllocator = flow.Reference
 	}
+	if *refPool {
+		arena.Default = false
+	}
 
 	spec, err := cluster.ByName(*machine)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hanbench:", err)
 		os.Exit(2)
+	}
+	if *scaleTier {
+		spec = bench.ScaleSpec(bench.ScaleNodes)
 	}
 	if *nodes > 0 {
 		spec.Nodes = *nodes
@@ -74,6 +83,25 @@ func main() {
 			}
 			sizes = append(sizes, v)
 		}
+	}
+
+	if *scaleTier {
+		size := 256 << 10
+		if *sizesFlag != "" {
+			size = sizes[0]
+		}
+		if kind != coll.Bcast {
+			fmt.Fprintln(os.Stderr, "hanbench: the scale tier runs -op bcast only")
+			os.Exit(2)
+		}
+		res, err := bench.ScaleBcast(spec, size, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scale tier: bcast %s on %s (%d nodes x %d ppn)\n%v\n",
+			han.SizeString(size), spec.Name, spec.Nodes, spec.PPN, res)
+		return
 	}
 
 	var decide han.DecisionFunc

@@ -198,10 +198,11 @@ type Machine struct {
 	Eng  *sim.Engine
 	Net  *flow.Network
 
-	nicIn  []*flow.Resource
-	nicOut []*flow.Resource
-	memBus []*flow.Resource
-	cpu    []*flow.Resource
+	nicIn   []*flow.Resource
+	nicOut  []*flow.Resource
+	memBus  []*flow.Resource
+	cpu     []*flow.Resource
+	cpuPath [][]*flow.Resource // [r] = {cpu[r]}, reused by CPUWork
 
 	// NUMA-level resources, only populated when Spec.MultiSocket().
 	sockBus [][]*flow.Resource // [node][socket]
@@ -232,6 +233,12 @@ func NewMachine(e *sim.Engine, spec Spec) *Machine {
 		// CPU progress engines have capacity 1.0 "work-second per second";
 		// flows through them carry work expressed in seconds.
 		m.cpu = append(m.cpu, net.NewResource(fmt.Sprintf("rank%d.cpu", r), 1.0))
+	}
+	// One persistent single-hop path per rank, so CPUWork (the single
+	// hottest Start call site) never rebuilds a variadic slice.
+	m.cpuPath = make([][]*flow.Resource, len(m.cpu))
+	for r, c := range m.cpu {
+		m.cpuPath[r] = []*flow.Resource{c}
 	}
 	if spec.HasGPUs() {
 		hbm := spec.GPUMemBandwidth
@@ -371,5 +378,5 @@ func (m *Machine) NVLink(node int) *flow.Resource { return m.nvlink[node] }
 // simulation reproduces the paper's observation that ib and sb "share the
 // same CPU resource to progress" in single-threaded MPI.
 func (m *Machine) CPUWork(r int, seconds float64) *flow.Flow {
-	return m.Net.Start(seconds, m.cpu[r])
+	return m.Net.StartOn(seconds, m.cpuPath[r])
 }

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/hanrepro/han/internal/arena"
 	"github.com/hanrepro/han/internal/sim"
 )
 
@@ -81,13 +82,24 @@ func (r *Resource) Load() int { return len(r.flows) }
 func (r *Resource) remove(f *Flow) {
 	for i, g := range r.flows {
 		if g == f {
-			r.flows = append(r.flows[:i], r.flows[i+1:]...)
+			// Shift down and zero the vacated slot: a plain
+			// append(r.flows[:i], r.flows[i+1:]...) leaves a duplicate of the
+			// last element in the capacity tail, pinning completed flows (and
+			// their done signals) live until the slot is overwritten.
+			last := len(r.flows) - 1
+			copy(r.flows[i:], r.flows[i+1:])
+			r.flows[last] = nil
+			r.flows = r.flows[:last]
 			return
 		}
 	}
 }
 
-// Flow is an in-flight transfer.
+// Flow is an in-flight transfer. Flows are pool-managed by their Network
+// (hanlint arenaalloc): obtain them with Network.Start/StartOn only, and
+// never retain one past the firing of its Done signal unless it came from
+// a network with pooling disabled — pooled flows are recycled the moment
+// they complete.
 type Flow struct {
 	net       *Network
 	path      []*Resource
@@ -97,9 +109,16 @@ type Flow struct {
 	start     sim.Time  // time the flow was started
 	last      sim.Time  // time remaining was last brought up to date
 	timer     sim.Timer // completion timer, rearmed in place on rebalance
-	done      *sim.Signal
+	doneSig   sim.Signal
 	finished  bool
 	onDone    func() // cached completion callback, one closure per flow
+	pooled    bool
+	slot      arena.Slot
+
+	// pathBuf backs path for the common short paths (the longest built-in
+	// path, socket-bus/UPI/socket-bus, is 3 hops), so Start copies the
+	// caller's path without allocating.
+	pathBuf [4]*Resource
 
 	// scratch fields for rate computation
 	frozen bool
@@ -109,7 +128,7 @@ type Flow struct {
 
 // Done returns the signal fired when the flow's last byte has been
 // delivered.
-func (f *Flow) Done() *sim.Signal { return f.done }
+func (f *Flow) Done() *sim.Signal { return &f.doneSig }
 
 // Rate returns the currently allocated rate in bytes per second.
 func (f *Flow) Rate() float64 { return f.rate }
@@ -122,6 +141,14 @@ func (f *Flow) Remaining() float64 { return f.remaining }
 type Network struct {
 	e    *sim.Engine
 	mode Allocator
+
+	// pooling recycles Flow structs through an arena pool: a flow is
+	// returned to the pool at the end of complete(), so callers must not
+	// touch a flow after its Done signal has fired. Disabled, every Start
+	// heap-allocates exactly as the original code did — the reference
+	// lifecycle oracle for the differential tests.
+	pooling bool
+	pool    *arena.Pool[Flow]
 
 	// Reusable scratch for rebalances, grown once and kept. comp holds the
 	// component of the most recent rebalance (complete's neighbour sweep
@@ -141,8 +168,38 @@ type Network struct {
 }
 
 // NewNetwork returns a flow network bound to the given engine, using
-// DefaultAllocator.
-func NewNetwork(e *sim.Engine) *Network { return &Network{e: e, mode: DefaultAllocator} }
+// DefaultAllocator and arena.Default pooling.
+func NewNetwork(e *sim.Engine) *Network {
+	n := &Network{e: e, mode: DefaultAllocator, pooling: arena.Default}
+	n.pool = arena.NewPool(arena.Options[Flow]{
+		Name: "flow.Flow",
+		Init: func(f *Flow) {
+			f.net = n
+			f.pooled = true
+			f.onDone = func() { n.complete(f) }
+		},
+		Reset: resetFlow,
+		Slot:  func(f *Flow) *arena.Slot { return &f.slot },
+	})
+	return n
+}
+
+// resetFlow clears a flow's per-use state in place. The identity fields
+// (net, pooled, onDone) and the timer handle persist: AtInto retargets the
+// slot's still-pending cancelled completion event on reuse instead of
+// tombstoning the heap.
+func resetFlow(f *Flow) {
+	for i := range f.pathBuf {
+		f.pathBuf[i] = nil
+	}
+	f.path = nil
+	f.remaining, f.rate, f.bytes = 0, 0, 0
+	f.start, f.last = 0, 0
+	f.doneSig.Reset()
+	f.finished = false
+	f.frozen = false
+	f.visit, f.sweep = 0, 0
+}
 
 // SetAllocator selects the allocator implementation. Switching while flows
 // are in flight is allowed (both allocators read and write the same flow
@@ -151,6 +208,14 @@ func (n *Network) SetAllocator(a Allocator) { n.mode = a }
 
 // AllocatorMode returns the active allocator implementation.
 func (n *Network) AllocatorMode() Allocator { return n.mode }
+
+// SetPooling switches flow recycling on or off for subsequently started
+// flows. Like SetAllocator it exists for differential tests and A/B runs;
+// flows already in flight keep the lifecycle they were started with.
+func (n *Network) SetPooling(on bool) { n.pooling = on }
+
+// Pooling reports whether started flows are arena-recycled on completion.
+func (n *Network) Pooling() bool { return n.pooling }
 
 // NewResource creates a resource with the given capacity in bytes/s.
 func (n *Network) NewResource(name string, capacity float64) *Resource {
@@ -187,7 +252,29 @@ func (n *Network) SetCapacity(r *Resource, capacity float64) {
 // negative size completes at the current instant (its Done signal fires
 // immediately). The path must be non-empty for positive sizes.
 func (n *Network) Start(bytes float64, path ...*Resource) *Flow {
-	f := &Flow{net: n, path: path, remaining: bytes, bytes: bytes, last: n.e.Now(), done: sim.NewSignal()}
+	return n.StartOn(bytes, path)
+}
+
+// StartOn is Start with the path passed as a slice. The path is copied
+// into the flow before StartOn returns, so callers may pass a reusable
+// scratch slice (cluster.Machine does, to keep the per-message hot path
+// allocation-free).
+func (n *Network) StartOn(bytes float64, path []*Resource) *Flow {
+	var f *Flow
+	if n.pooling && bytes > 0 {
+		// Positive-size flows complete through a scheduled event, so every
+		// caller has registered its interest before the done signal can
+		// fire; recycling at complete() is safe. Zero-size flows fire while
+		// the caller still holds the only reference and may legitimately be
+		// kept around (completed-request fast paths), so they stay on the
+		// heap in both modes.
+		f = n.pool.Get()
+	} else {
+		f = &Flow{net: n}
+	}
+	f.path = append(f.pathBuf[:0], path...)
+	f.remaining, f.bytes = bytes, bytes
+	f.last = n.e.Now()
 	f.start = f.last
 	if n.mon != nil {
 		n.mon.flowStarted()
@@ -197,14 +284,16 @@ func (n *Network) Start(bytes float64, path ...*Resource) *Flow {
 		if n.mon != nil {
 			n.mon.flowDone(0, 0)
 		}
-		f.done.Fire(n.e)
+		f.doneSig.Fire(n.e)
 		return f
 	}
 	if len(path) == 0 {
 		panic("flow: positive-size flow needs a non-empty path")
 	}
-	f.onDone = func() { n.complete(f) }
-	for _, r := range path {
+	if f.onDone == nil {
+		f.onDone = func() { n.complete(f) }
+	}
+	for _, r := range f.path {
 		r.flows = append(r.flows, f)
 	}
 	n.rebalance(f)
@@ -217,6 +306,7 @@ func (n *Network) Start(bytes float64, path ...*Resource) *Flow {
 // flows). Traversal order is deterministic: DFS in path/insertion order,
 // identical for both allocators.
 func (n *Network) collectComponent(seed *Flow) {
+	prevComp, prevRes := len(n.comp), len(n.res)
 	n.visitGen++
 	vg := n.visitGen
 	comp := n.comp[:0]
@@ -224,6 +314,7 @@ func (n *Network) collectComponent(seed *Flow) {
 	seed.visit = vg
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
+		stack[len(stack)-1] = nil // popped slots must not pin flows
 		stack = stack[:len(stack)-1]
 		comp = append(comp, f)
 		for _, r := range f.path {
@@ -247,6 +338,22 @@ func (n *Network) collectComponent(seed *Flow) {
 				res = append(res, r)
 			}
 			r.count++
+		}
+	}
+	// A component smaller than the previous one leaves stale pointers in
+	// the shared backing array's tail (same retention pattern as
+	// Resource.remove). A shrink implies the array was not regrown, so the
+	// old extent is addressable; zero it.
+	if len(comp) < prevComp {
+		tail := comp[len(comp):prevComp]
+		for i := range tail {
+			tail[i] = nil
+		}
+	}
+	if len(res) < prevRes {
+		tail := res[len(res):prevRes]
+		for i := range tail {
+			tail[i] = nil
 		}
 	}
 	n.comp, n.stack, n.res = comp, stack[:0], res
@@ -321,6 +428,7 @@ func (n *Network) fillIncremental() {
 		return
 	}
 	active := append(n.active[:0], n.comp...)
+	extent := active // full extent, for tail-zeroing once the fill is done
 	res := n.res
 	for len(active) > 0 {
 		share := math.Inf(1)
@@ -373,7 +481,10 @@ func (n *Network) fillIncremental() {
 		}
 		res = res[:rw]
 	}
-	n.active = active[:0]
+	for i := range extent {
+		extent[i] = nil // keep capacity, drop the flow references
+	}
+	n.active = extent[:0]
 }
 
 // fillReference is the original from-scratch progressive filler, preserved
@@ -468,7 +579,7 @@ func (n *Network) complete(f *Flow) {
 	if n.mon != nil {
 		n.mon.flowDone(float64(now-f.start), f.bytes)
 	}
-	f.done.Fire(n.e)
+	f.doneSig.Fire(n.e)
 	// Freed capacity may speed up neighbours: rebalance each disjoint
 	// neighbourhood once. rebalance leaves the component it touched in
 	// n.comp; epoch marks replace the seen-set map.
@@ -483,5 +594,20 @@ func (n *Network) complete(f *Flow) {
 				}
 			}
 		}
+	}
+	// The component scratch is only rebuilt at the next rebalance; if no
+	// neighbour triggered one, it would keep pinning f (same retention
+	// pattern as Resource.remove's capacity tail). Scrub f so a completed —
+	// or, below, recycled — flow is never reachable through scratch.
+	for i, h := range n.comp {
+		if h == f {
+			n.comp[i] = nil
+		}
+	}
+	// Every external observer has been notified (done callbacks ran inside
+	// Fire, before the sweep) and the flow is off all resource lists:
+	// recycle the slot.
+	if f.pooled {
+		n.pool.Put(f)
 	}
 }

@@ -32,10 +32,21 @@ type ResourceStats struct {
 	Peak float64
 	// Samples is the piecewise-constant utilization series, in
 	// non-decreasing time order with at most one sample per instant.
+	// Its length is bounded (Monitor.SetSampleCap): once the cap is hit
+	// the series is decimated in place to every other point and further
+	// samples are recorded at the doubled stride. The decimation is a
+	// pure function of the note sequence, so two replays always produce
+	// identical series — and a cap at least as large as the raw series
+	// length never decimates at all, leaving the series byte-identical
+	// to the unbounded one. Bytes, BusySeconds, and Peak are exact
+	// integrals regardless of the cap.
 	Samples []UtilSample
 
 	lastT    sim.Time
 	lastUtil float64
+	cap      int // max len(Samples); 0 = unbounded
+	stride   int // record every stride-th distinct-time sample (1 = all)
+	skip     int // distinct-time samples dropped since the last recorded one
 }
 
 // note closes the piecewise-constant interval [lastT, t] under lastUtil
@@ -43,6 +54,13 @@ type ResourceStats struct {
 // the final value (intermediate allocations at the same virtual time are
 // not observable states).
 func (s *ResourceStats) note(t sim.Time, util float64) {
+	s.accrue(t, util)
+	s.addSample(t, util, false)
+}
+
+// accrue closes the utilization integrals up to t and makes util current.
+// It is exact and independent of the sample cap.
+func (s *ResourceStats) accrue(t sim.Time, util float64) {
 	if dt := float64(t - s.lastT); dt > 0 {
 		s.Bytes += s.lastUtil * s.Res.Capacity * dt
 		if s.lastUtil > 0 {
@@ -54,11 +72,48 @@ func (s *ResourceStats) note(t sim.Time, util float64) {
 	if util > s.Peak {
 		s.Peak = util
 	}
+}
+
+// addSample appends one point of the bounded series. Multiple samples at
+// one instant collapse onto the last recorded point; at stride > 1 only
+// every stride-th distinct instant is kept (final forces the append, so
+// the series always ends on the closing sample).
+func (s *ResourceStats) addSample(t sim.Time, util float64, final bool) {
 	if n := len(s.Samples); n > 0 && s.Samples[n-1].T == t {
 		s.Samples[n-1].Util = util
 		return
 	}
+	if s.stride > 1 && !final {
+		s.skip++
+		if s.skip < s.stride {
+			return
+		}
+		s.skip = 0
+	}
 	s.Samples = append(s.Samples, UtilSample{T: t, Util: util})
+	if s.cap > 0 && len(s.Samples) >= s.cap {
+		s.decimate()
+	}
+}
+
+// decimate halves the series in place, keeping even indices (the series
+// start stays fixed), and doubles the recording stride.
+func (s *ResourceStats) decimate() {
+	w := 0
+	for i := 0; i < len(s.Samples); i += 2 {
+		s.Samples[w] = s.Samples[i]
+		w++
+	}
+	tail := s.Samples[w:]
+	for i := range tail {
+		tail[i] = UtilSample{}
+	}
+	s.Samples = s.Samples[:w]
+	if s.stride == 0 {
+		s.stride = 1
+	}
+	s.stride *= 2
+	s.skip = 0
 }
 
 // util returns the resource's current utilization from live flow rates.
@@ -79,11 +134,19 @@ type FlowTotals struct {
 	MaxSeconds float64
 }
 
+// DefaultSampleCap bounds every resource's utilization series unless
+// overridden with Monitor.SetSampleCap. Runs whose raw series stay under
+// the cap are unaffected; longer runs decimate to coarser strides instead
+// of growing without bound (a 100k-rank world cannot afford one sample
+// per rebalance per resource).
+const DefaultSampleCap = 8192
+
 // Monitor observes a Network. Obtain one with Network.EnableMonitor.
 type Monitor struct {
-	res    []*ResourceStats // resource creation order
-	snap   []*Resource      // pre-fill component snapshot (rebalance scratch)
-	totals FlowTotals
+	res       []*ResourceStats // resource creation order
+	snap      []*Resource      // pre-fill component snapshot (rebalance scratch)
+	totals    FlowTotals
+	sampleCap int
 }
 
 // EnableMonitor attaches a monitor to the network (idempotent). Existing
@@ -91,7 +154,7 @@ type Monitor struct {
 // observe them from their first byte.
 func (n *Network) EnableMonitor() *Monitor {
 	if n.mon == nil {
-		n.mon = &Monitor{}
+		n.mon = &Monitor{sampleCap: DefaultSampleCap}
 		for _, r := range n.resources {
 			n.mon.track(r, n.e.Now())
 		}
@@ -99,11 +162,27 @@ func (n *Network) EnableMonitor() *Monitor {
 	return n.mon
 }
 
+// SetSampleCap bounds every resource's Samples series to at most cap
+// points (0 = unbounded), applying to already-tracked resources too. A cap
+// at least as large as a run's raw series length records the identical
+// series; smaller caps decimate deterministically. Exact totals (Bytes,
+// BusySeconds, Peak, FlowTotals) are unaffected. Call before the run;
+// lowering the cap mid-series takes effect at the next sample.
+func (m *Monitor) SetSampleCap(cap int) {
+	if cap < 0 {
+		cap = 0
+	}
+	m.sampleCap = cap
+	for _, s := range m.res {
+		s.cap = cap
+	}
+}
+
 // Monitor returns the attached monitor, nil when not enabled.
 func (n *Network) Monitor() *Monitor { return n.mon }
 
 func (m *Monitor) track(r *Resource, now sim.Time) {
-	r.stats = &ResourceStats{Res: r, lastT: now}
+	r.stats = &ResourceStats{Res: r, lastT: now, cap: m.sampleCap, stride: 1}
 	m.res = append(m.res, r.stats)
 }
 
@@ -130,7 +209,9 @@ func (m *Monitor) Finish(now sim.Time) {
 		return
 	}
 	for _, s := range m.res {
-		s.note(now, s.util())
+		u := s.util()
+		s.accrue(now, u)
+		s.addSample(now, u, true) // the closing sample is always recorded
 	}
 }
 

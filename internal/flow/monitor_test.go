@@ -100,6 +100,72 @@ func TestMonitorNilSafe(t *testing.T) {
 	}
 }
 
+// sampleCapScenario runs many sequential flows over one resource so its
+// utilization series has a known raw length, under the given cap.
+func sampleCapScenario(t *testing.T, cap, flows int) *ResourceStats {
+	t.Helper()
+	e := sim.New()
+	n := NewNetwork(e)
+	a := n.NewResource("A", 100)
+	mon := n.EnableMonitor()
+	mon.SetSampleCap(cap)
+	var next func(i int)
+	next = func(i int) {
+		if i == flows {
+			return
+		}
+		f := n.Start(100, a)
+		f.Done().OnFire(func() { next(i + 1) })
+	}
+	next(0)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mon.Finish(e.Now())
+	return mon.Resources()[0]
+}
+
+func TestMonitorSampleCapBoundsSeries(t *testing.T) {
+	const cap = 32
+	s := sampleCapScenario(t, cap, 400) // raw series would be ~800 points
+	if len(s.Samples) > cap {
+		t.Fatalf("series has %d samples, cap is %d", len(s.Samples), cap)
+	}
+	for i := 1; i < len(s.Samples); i++ {
+		if s.Samples[i].T <= s.Samples[i-1].T {
+			t.Fatalf("decimated samples not strictly ordered at %d: %+v", i, s.Samples)
+		}
+	}
+	if s.Samples[0].T != 0 {
+		t.Fatalf("decimation must keep the series start, got %+v", s.Samples[0])
+	}
+	last := s.Samples[len(s.Samples)-1]
+	if last.T != 400 || last.Util != 0 {
+		t.Fatalf("closing sample = %+v, want (400, 0)", last)
+	}
+	// Exact accumulators ignore the cap entirely.
+	if s.Bytes != 400*100 || s.BusySeconds != 400 || s.Peak != 1 {
+		t.Fatalf("exact totals perturbed by cap: bytes=%v busy=%v peak=%v", s.Bytes, s.BusySeconds, s.Peak)
+	}
+}
+
+func TestMonitorSampleCapAboveSeriesLengthIsIdentity(t *testing.T) {
+	unbounded := sampleCapScenario(t, 0, 50)
+	roomy := sampleCapScenario(t, len(unbounded.Samples)+1, 50)
+	if !reflect.DeepEqual(unbounded.Samples, roomy.Samples) {
+		t.Fatalf("cap above series length changed the series:\n%d samples vs %d",
+			len(unbounded.Samples), len(roomy.Samples))
+	}
+}
+
+func TestMonitorSampleCapDeterministic(t *testing.T) {
+	a := sampleCapScenario(t, 16, 300)
+	b := sampleCapScenario(t, 16, 300)
+	if !reflect.DeepEqual(a.Samples, b.Samples) {
+		t.Fatalf("decimated series differ across replays:\n%+v\n%+v", a.Samples, b.Samples)
+	}
+}
+
 func TestMonitorZeroSizeFlow(t *testing.T) {
 	e := sim.New()
 	n := NewNetwork(e)

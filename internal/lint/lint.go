@@ -79,6 +79,7 @@ func All() []*Analyzer {
 		ReqwaitAnalyzer,
 		TypederrAnalyzer,
 		EngineboundAnalyzer,
+		ArenaallocAnalyzer,
 	}
 }
 

@@ -127,3 +127,7 @@ func TestTypederrScope(t *testing.T) {
 		}
 	}
 }
+
+func TestArenaalloc(t *testing.T) {
+	linttest.Run(t, lint.ArenaallocAnalyzer, "arenaalloc")
+}

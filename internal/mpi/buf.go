@@ -45,13 +45,31 @@ func (b Buf) Slice(lo, hi int) Buf {
 	return Buf{N: hi - lo}
 }
 
-// CopyFrom copies src's payload into b when both are real; it is a no-op
-// when either side is phantom. Lengths must match.
+// CopyFrom copies src's payload into b when both are real, and is a no-op
+// when both are phantom (timing-only worlds have no payload to move).
+// Lengths must match. Mixing one real and one phantom side is a diagnostic
+// panic: the copy would silently drop payload, which is how a
+// half-phantom world corrupts data without failing a single assertion.
+// Zero-length copies are always allowed — an empty buffer carries no
+// payload either way.
 func (b Buf) CopyFrom(src Buf) {
 	if b.N != src.N {
 		panic(fmt.Sprintf("mpi: copy length mismatch %d != %d", b.N, src.N))
 	}
-	if b.Real() && src.Real() {
+	if b.N == 0 {
+		return
+	}
+	if b.Real() != src.Real() {
+		kind := func(x Buf) string {
+			if x.Real() {
+				return "real"
+			}
+			return "phantom"
+		}
+		panic(fmt.Sprintf("mpi: copy between %s dst and %s src would drop %d bytes of payload; use all-real or all-phantom buffers",
+			kind(b), kind(src), b.N))
+	}
+	if b.Real() {
 		copy(b.B, src.B)
 	}
 }

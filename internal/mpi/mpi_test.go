@@ -3,6 +3,7 @@ package mpi
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -412,4 +413,35 @@ func TestBufSliceAndPhantom(t *testing.T) {
 	if b.B[1] != 8 || b.B[2] != 9 {
 		t.Fatal("CopyFrom through slice did not write through")
 	}
+}
+
+// Satellite regression: a copy with exactly one phantom side used to
+// silently no-op, dropping payload in a mixed real/phantom world. Both
+// mixed directions must panic with a diagnostic; zero-length mixes stay
+// legal (nothing to drop).
+func TestBufCopyFromMixedRealPhantomPanics(t *testing.T) {
+	cases := []struct {
+		name     string
+		dst, src Buf
+	}{
+		{"phantom<-real", Phantom(3), Bytes([]byte{1, 2, 3})},
+		{"real<-phantom", Bytes(make([]byte, 3)), Phantom(3)},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					t.Fatalf("%s: mixed CopyFrom did not panic", tc.name)
+				}
+				if msg, ok := rec.(string); !ok || !strings.Contains(msg, "payload") {
+					t.Fatalf("%s: panic %v lacks payload diagnostic", tc.name, rec)
+				}
+			}()
+			tc.dst.CopyFrom(tc.src)
+		}()
+	}
+	// Zero-length buffers carry no payload: every combination is a no-op.
+	Phantom(0).CopyFrom(Bytes([]byte{}))
+	Bytes([]byte{}).CopyFrom(Phantom(0))
 }

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"github.com/hanrepro/han/internal/arena"
 	"github.com/hanrepro/han/internal/sim"
 	"github.com/hanrepro/han/internal/trace"
 )
@@ -34,15 +35,25 @@ type message struct {
 	eager       bool
 	dataArrived *sim.Signal // payload fully at the receiver
 	onMatch     func()      // rendezvous only: start the clear-to-send
+	op          *sendOp     // owning pooled record; nil on the reference path
 }
 
-// recvReq is a posted receive awaiting a matching message.
+// recvReq is a posted receive awaiting a matching message. Pooled
+// receives (pool.go) carry persistent completion closures and are
+// recycled once the payload has been copied out; reference receives are
+// heap-allocated per call.
 type recvReq struct {
 	src, tag int
 	buf      Buf
 	req      *Request
 	comm     *Comm
 	dstWorld int
+
+	pooled   bool
+	m        *message // matched message (pooled path)
+	onData   func()   // payload arrived: start receive-side overhead
+	onOvDone func()   // overhead done: copy out and complete
+	slot     arena.Slot
 }
 
 type endpoint struct {
@@ -64,6 +75,23 @@ func matches(r *recvReq, m *message) bool {
 	return (r.src == AnySource || r.src == m.src) && (r.tag == AnyTag || r.tag == m.tag)
 }
 
+// removeRecvAt and removeMsgAt shift-remove index i while nil-ing the
+// vacated capacity-tail slot — without that, the backing array pins the
+// removed (possibly pool-recycled) record until the slot is overwritten.
+func removeRecvAt(s []*recvReq, i int) []*recvReq {
+	last := len(s) - 1
+	copy(s[i:], s[i+1:])
+	s[last] = nil
+	return s[:last]
+}
+
+func removeMsgAt(s []*message, i int) []*message {
+	last := len(s) - 1
+	copy(s[i:], s[i+1:])
+	s[last] = nil
+	return s[:last]
+}
+
 // Isend starts a non-blocking send of buf to comm rank dst with the given
 // tag. The returned request completes when the sender's buffer may be
 // reused (eager: payload drained into the network; rendezvous: transfer
@@ -76,6 +104,9 @@ func (c *Comm) Isend(p *Proc, buf Buf, dst, tag int) *Request {
 	me := c.Rank(p)
 	if me < 0 {
 		panic("mpi: Isend by non-member rank")
+	}
+	if w.p2pPooled() {
+		return c.isendPooled(p, buf, dst, tag, me)
 	}
 	req := NewRequest()
 	req.site = WaitSite{Op: "send", Peer: dst, Tag: tag, Ctx: c.ctx}
@@ -256,12 +287,19 @@ func (c *Comm) Irecv(p *Proc, buf Buf, src, tag int) *Request {
 	}
 	w := c.w
 	w.m.recvsPosted.Inc()
-	r := &recvReq{src: src, tag: tag, buf: buf, req: NewRequest(), comm: c, dstWorld: p.Rank}
+	var r *recvReq
+	if w.p2pPooled() {
+		r = w.recvPool.Get()
+		r.src, r.tag, r.buf, r.comm, r.dstWorld = src, tag, buf, c, p.Rank
+		r.req = w.reqPool.Get()
+	} else {
+		r = &recvReq{src: src, tag: tag, buf: buf, req: NewRequest(), comm: c, dstWorld: p.Rank}
+	}
 	r.req.site = WaitSite{Op: "recv", Peer: src, Tag: tag, Ctx: c.ctx}
 	ep := w.endpoint(c.ctx, p.Rank)
 	for i, m := range ep.unexpected {
 		if matches(r, m) {
-			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			ep.unexpected = removeMsgAt(ep.unexpected, i)
 			w.match(r, m)
 			return r.req
 		}
@@ -275,7 +313,7 @@ func (w *World) deliver(ctx, dstWorld int, m *message) {
 	ep := w.endpoint(ctx, dstWorld)
 	for i, r := range ep.posted {
 		if matches(r, m) {
-			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
+			ep.posted = removeRecvAt(ep.posted, i)
 			w.match(r, m)
 			return
 		}
@@ -297,6 +335,13 @@ func (w *World) match(r *recvReq, m *message) {
 	}
 	if !m.eager && m.onMatch != nil {
 		m.onMatch()
+	}
+	if r.pooled {
+		// Pooled receives complete through their persistent closures
+		// (pool.go); the inline registration below is the reference path.
+		r.m = m
+		m.dataArrived.OnFire(r.onData)
+		return
 	}
 	eng := w.Eng()
 	m.dataArrived.OnFire(func() {

@@ -1,0 +1,219 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/fault"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// This file holds the pooled-P2P differential and allocation-regression
+// suites: the arena path (pool.go) must reproduce the reference path
+// bit-for-bit, and its steady state must not allocate.
+
+// runP2PChurn drives a seeded randomized P2P workload — mixed
+// eager/rendezvous sizes, wildcard receives, out-of-order tags (so both
+// the posted and the unexpected queue are exercised), zero-size
+// messages, and SendRecv exchanges — and returns the exact final-clock
+// bits.
+func runP2PChurn(t *testing.T, pooled bool, seedv int64, plan *fault.Plan, jitter float64) uint64 {
+	t.Helper()
+	eng := sim.New()
+	spec := cluster.Mini(4, 4) // 16 ranks, 4 nodes: intra- and inter-node traffic
+	pers := OpenMPI()
+	pers.Jitter = jitter // nonzero forces RNG draws at every latency sample
+	w := NewWorld(cluster.NewMachine(eng, spec), pers)
+	w.SetPooling(pooled)
+	w.Seed(seedv)
+	if plan != nil {
+		w.AttachFaults(*plan)
+	}
+	n := w.Size()
+	rounds := 8
+	w.Start(func(p *Proc) {
+		c := p.W.World()
+		me := c.Rank(p)
+		rng := rand.New(rand.NewSource(seedv*1000 + int64(me)))
+		ringRight, ringLeft := (me+1)%n, (me+n-1)%n
+		for round := 0; round < rounds; round++ {
+			right := (me + 1 + round) % n
+			left := (me + n - 1 - round%n) % n
+			size := rng.Intn(3 * pers.EagerThreshold) // spans both protocols
+			if rng.Intn(5) == 0 {
+				size = 0
+			}
+			switch round % 3 {
+			case 0:
+				// Shifting ring exchange, receive from a wildcard source.
+				sreq := c.Isend(p, Phantom(size), right, round)
+				rreq := c.Irecv(p, Phantom(3*pers.EagerThreshold), AnySource, round)
+				p.Wait(sreq, rreq)
+			case 1:
+				// Out-of-order tags on a fixed ring (stride 1, so even
+				// ranks pair with odd ranks and the blocking phases below
+				// cannot cycle).
+				if me%2 == 0 {
+					a := c.Isend(p, Phantom(size), ringRight, 100+round)
+					b := c.Isend(p, Phantom(size/2), ringRight, 200+round)
+					p.Wait(a, b)
+					c.Recv(p, Phantom(3*pers.EagerThreshold), ringLeft, 300+round)
+					c.Recv(p, Phantom(3*pers.EagerThreshold), ringLeft, 400+round)
+				} else {
+					// Post the later tag first to force an unexpected
+					// message on this rank.
+					r2 := c.Irecv(p, Phantom(3*pers.EagerThreshold), ringLeft, 200+round)
+					r1 := c.Irecv(p, Phantom(3*pers.EagerThreshold), ringLeft, 100+round)
+					p.Wait(r2, r1)
+					c.Send(p, Phantom(size), ringRight, 300+round)
+					c.Send(p, Phantom(size/4), ringRight, 400+round)
+				}
+			default:
+				c.SendRecv(p, Phantom(size), right, round, Phantom(3*pers.EagerThreshold), left, round)
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("pooled=%v seed=%d: %v", pooled, seedv, err)
+	}
+	return math.Float64bits(float64(eng.Now()))
+}
+
+// The pooled P2P path must reproduce the reference path to the bit
+// across seeds and jittered latencies (which pins the RNG draw points).
+func TestDifferentialPooledVsReferenceP2P(t *testing.T) {
+	for seedv := int64(1); seedv <= 10; seedv++ {
+		for _, jitter := range []float64{0, 0.1} {
+			pooled := runP2PChurn(t, true, seedv, nil, jitter)
+			ref := runP2PChurn(t, false, seedv, nil, jitter)
+			if pooled != ref {
+				t.Fatalf("seed %d jitter %v: final clock differs: pooled %016x vs reference %016x",
+					seedv, jitter, pooled, ref)
+			}
+		}
+	}
+}
+
+// Same differential under fault plans. Stragglers scale overheads on the
+// pooled path directly; drop plans force the world onto the reference
+// path, which must be indistinguishable from explicitly disabling
+// pooling.
+func TestDifferentialPooledVsReferenceP2PFaults(t *testing.T) {
+	for _, name := range []string{"stragglers", "flaps", "drops"} {
+		plan, err := fault.Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seedv := int64(1); seedv <= 5; seedv++ {
+			pooled := runP2PChurn(t, true, seedv, &plan, 0.05)
+			ref := runP2PChurn(t, false, seedv, &plan, 0.05)
+			if pooled != ref {
+				t.Fatalf("plan %s seed %d: final clock differs: pooled %016x vs reference %016x",
+					name, seedv, pooled, ref)
+			}
+		}
+	}
+}
+
+// Payload correctness through the pooled path: real buffers must arrive
+// byte-for-byte, in both protocols, including through the unexpected
+// queue.
+func TestPooledP2PDeliversRealPayloads(t *testing.T) {
+	eng := sim.New()
+	pers := OpenMPI()
+	w := NewWorld(cluster.NewMachine(eng, cluster.Mini(2, 2)), pers)
+	if !w.Pooling() {
+		t.Skip("arena pooling disabled in this build")
+	}
+	sizes := []int{1, pers.EagerThreshold, pers.EagerThreshold + 1, 64 << 10}
+	got := make([][]byte, len(sizes))
+	w.Start(func(p *Proc) {
+		c := p.W.World()
+		switch c.Rank(p) {
+		case 0:
+			// All sends in flight at once: the receiver drains them in
+			// reverse, so rendezvous must match through the unexpected
+			// queue without blocking earlier sends.
+			reqs := make([]*Request, len(sizes))
+			for i, sz := range sizes {
+				buf := make([]byte, sz)
+				for j := range buf {
+					buf[j] = byte(i + j)
+				}
+				reqs[i] = c.Isend(p, Bytes(buf), 1, i)
+			}
+			p.Wait(reqs...)
+		case 1:
+			// Receive in reverse tag order so early sends sit unexpected.
+			for i := len(sizes) - 1; i >= 0; i-- {
+				buf := make([]byte, sizes[i])
+				c.Recv(p, Bytes(buf), 0, i)
+				got[i] = buf
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, buf := range got {
+		for j, b := range buf {
+			if b != byte(i+j) {
+				t.Fatalf("size %d: byte %d corrupted: got %d want %d", sizes[i], j, b, byte(i+j))
+			}
+		}
+	}
+}
+
+// Steady-state pooled P2P must not allocate: after a warmup that carves
+// the slabs and grows every scratch slice, whole ping-pong rounds run
+// allocation-free. Measured with the runtime's exact malloc counter from
+// inside the simulation.
+func TestPooledP2PSteadyStateAllocs(t *testing.T) {
+	eng := sim.New()
+	w := NewWorld(cluster.NewMachine(eng, cluster.Mini(2, 2)), OpenMPI())
+	if !w.Pooling() {
+		t.Skip("arena pooling disabled in this build")
+	}
+	const warmup, measured = 200, 200
+	var mallocs uint64
+	w.Start(func(p *Proc) {
+		c := p.W.World()
+		me := c.Rank(p)
+		if me > 1 {
+			return
+		}
+		peer := 1 - me
+		var before runtime.MemStats
+		for i := 0; i < warmup+measured; i++ {
+			if me == 0 && i == warmup {
+				runtime.ReadMemStats(&before)
+			}
+			// Mix both protocols and both directions each round.
+			small, big := Phantom(64), Phantom(256<<10)
+			if me == 0 {
+				c.Send(p, small, peer, 1)
+				c.Recv(p, big, peer, 2)
+			} else {
+				c.Recv(p, small, peer, 1)
+				c.Send(p, big, peer, 2)
+			}
+		}
+		if me == 0 {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			mallocs = after.Mallocs - before.Mallocs
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// ReadMemStats itself and test-harness background activity cost a few
+	// mallocs; per-round cost must still be indistinguishable from zero.
+	perRound := float64(mallocs) / float64(measured)
+	if perRound >= 1 {
+		t.Fatalf("steady-state p2p averages %.2f mallocs per ping-pong round (%d total), want < 1", perRound, mallocs)
+	}
+}

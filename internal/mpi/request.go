@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"github.com/hanrepro/han/internal/arena"
 	"github.com/hanrepro/han/internal/sim"
 )
 
@@ -26,30 +27,40 @@ func (s *WaitSite) String() string {
 
 // Request is the handle of a non-blocking operation (point-to-point or
 // collective). It completes exactly once.
+//
+// Requests handed out by the pooled P2P path are recycled through the
+// world's arena the moment Proc.Wait observes their completion: a waited
+// request must not be touched again (the wait-once discipline hanlint's
+// reqwait pass enforces). Requests from NewRequest are heap-allocated and
+// never recycled.
 type Request struct {
-	done *sim.Signal
-	site WaitSite
+	doneSig sim.Signal
+	site    WaitSite
+
+	pooled bool
+	slot   arena.Slot
 }
 
-// NewRequest returns an incomplete request. Collective modules use this to
-// hand out completion handles for operations they progress internally.
-func NewRequest() *Request { return &Request{done: sim.NewSignal()} }
+// NewRequest returns an incomplete heap request. Collective modules use
+// this to hand out completion handles for operations they progress
+// internally.
+func NewRequest() *Request { return &Request{} }
 
 // Done returns the signal fired at completion.
-func (r *Request) Done() *sim.Signal { return r.done }
+func (r *Request) Done() *sim.Signal { return &r.doneSig }
 
 // Test reports whether the request has completed (MPI_Test semantics,
 // without the progress side effects — the simulation progresses requests
 // autonomously).
-func (r *Request) Test() bool { return r.done.Fired() }
+func (r *Request) Test() bool { return r.doneSig.Fired() }
 
 // Complete marks the request complete at the current virtual time.
-func (r *Request) Complete(e *sim.Engine) { r.done.Fire(e) }
+func (r *Request) Complete(e *sim.Engine) { r.doneSig.Fire(e) }
 
 // CompletedRequest returns an already-complete request, useful for
 // zero-work fast paths (empty buffers, single-rank communicators).
 func CompletedRequest(e *sim.Engine) *Request {
 	r := NewRequest()
-	r.done.Fire(e)
+	r.doneSig.Fire(e)
 	return r
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/hanrepro/han/internal/arena"
 	"github.com/hanrepro/han/internal/cluster"
 	"github.com/hanrepro/han/internal/fault"
 	"github.com/hanrepro/han/internal/flow"
@@ -42,6 +43,16 @@ type World struct {
 	pairTail map[pairKey]*sim.Signal
 	envTail  map[pairKey]*sim.Signal
 	rng      *rand.Rand
+
+	// Arena state for the pooled P2P path (pool.go). pooling is read from
+	// arena.Default at construction; p2pMode is resolved lazily at the
+	// first Isend/Irecv and is world-wide for the rest of the run.
+	pooling  bool
+	p2pMode  int
+	pairs    map[pairKey]*pairState
+	reqPool  *arena.Pool[Request]
+	sendPool *arena.Pool[sendOp]
+	recvPool *arena.Pool[recvReq]
 
 	// m holds the metric handles installed by EnableMetrics; always
 	// non-nil (the zero value's nil handles no-op) so hot paths hook in
@@ -77,7 +88,9 @@ func NewWorld(m *cluster.Machine, pers *Personality) *World {
 		cachedComms: make(map[string]*Comm),
 		rng:         rand.New(rand.NewSource(1)),
 		m:           &worldMetrics{},
+		pooling:     arena.Default,
 	}
+	w.initPools()
 	all := make([]int, m.Spec.Ranks())
 	for i := range all {
 		all[i] = i
@@ -197,7 +210,10 @@ func (p *Proc) Node() int { return p.W.Mach.NodeOf(p.Rank) }
 func (p *Proc) Wait(reqs ...*Request) {
 	for _, r := range reqs {
 		if r != nil {
-			p.Sim.WaitAt(r.done, &r.site)
+			p.Sim.WaitAt(&r.doneSig, &r.site)
+			// A waited request is finished business: recycle pooled ones.
+			// The wait-once discipline (hanlint reqwait) makes this safe.
+			p.W.release(r)
 		}
 	}
 }
@@ -284,6 +300,21 @@ func (w *World) AttachFaults(plan fault.Plan) {
 
 // Faults returns the attached fault injector, or nil.
 func (w *World) Faults() *fault.Injector { return w.faults }
+
+// SetPooling overrides whether P2P traffic runs on the arena-pooled path
+// (the default follows arena.Default at construction). It must be called
+// before any send or receive — the mode is fixed world-wide at the first
+// one. Differential tests use this to pit the two paths against each
+// other.
+func (w *World) SetPooling(on bool) {
+	if w.p2pMode != p2pUndecided {
+		panic("mpi: SetPooling after P2P traffic started")
+	}
+	w.pooling = on
+}
+
+// Pooling reports whether the pooled P2P path is (or would be) active.
+func (w *World) Pooling() bool { return w.pooling }
 
 // dataPath returns the resources an s->d payload crosses.
 func (w *World) dataPath(srcWorld, dstWorld int) []*flow.Resource {

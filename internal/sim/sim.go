@@ -442,6 +442,12 @@ func (s *Signal) Fired() bool { return s.fired }
 // Fire fires the signal at the engine's current time, waking all waiters and
 // running all registered callbacks. Firing twice is a no-op. Permanent
 // callbacks run before cancellable ones; both run in registration order.
+//
+// The registration slices are detached before their callbacks run, then
+// zeroed element-wise and restored truncated: a fired signal keeps its
+// capacity (so a Reset signal embedded in a pooled record re-registers
+// without allocating) but never pins dead closures or processes in the
+// capacity tail.
 func (s *Signal) Fire(e *Engine) {
 	if s.fired {
 		return
@@ -452,6 +458,12 @@ func (s *Signal) Fire(e *Engine) {
 	for _, cb := range cbs {
 		cb()
 	}
+	for i := range cbs {
+		cbs[i] = nil
+	}
+	if s.cbs == nil {
+		s.cbs = cbs[:0]
+	}
 	subs := s.subs
 	s.subs = nil
 	s.dead = 0
@@ -460,12 +472,47 @@ func (s *Signal) Fire(e *Engine) {
 			u.cb()
 		}
 	}
+	for i := range subs {
+		subs[i] = nil
+	}
+	if s.subs == nil {
+		s.subs = subs[:0]
+	}
 	waiters := s.waiters
 	s.waiters = nil
 	for _, p := range waiters {
 		delete(e.parked, p)
 		e.resumeAt(e.now, p)
 	}
+	for i := range waiters {
+		waiters[i] = nil
+	}
+	if s.waiters == nil {
+		s.waiters = waiters[:0]
+	}
+}
+
+// Reset returns the signal to the unfired state, retaining registration
+// slice capacity. It is for owners recycling a signal-bearing record
+// through an arena pool (internal/arena): the caller must guarantee no
+// live registration or waiter remains — resetting a signal someone still
+// holds silently detaches them. Fire has already cleared the slices, so
+// Reset on a fired signal is allocation-free.
+func (s *Signal) Reset() {
+	s.fired = false
+	for i := range s.cbs {
+		s.cbs[i] = nil
+	}
+	s.cbs = s.cbs[:0]
+	for i := range s.subs {
+		s.subs[i] = nil
+	}
+	s.subs = s.subs[:0]
+	for i := range s.waiters {
+		s.waiters[i] = nil
+	}
+	s.waiters = s.waiters[:0]
+	s.dead = 0
 }
 
 // onFire registers cb to run when the signal fires; if already fired, cb
