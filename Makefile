@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint ci bench bench-alloc bench-search chaos docs
+.PHONY: build test race vet lint ci bench bench-alloc bench-search chaos chaos-soak fuzz docs
 
 build:
 	$(GO) build ./...
@@ -33,13 +33,39 @@ ci: build lint race
 	$(GO) test -race -count=1 -run 'ScaleSmoke' .
 
 # Fault matrix: every builtin plan across three seeds (what the CI
-# fault-matrix job runs, one cell per runner).
+# fault-matrix job runs, one cell per runner), plus the crash matrix over
+# the crash plans.
 chaos:
 	@for seed in 1 2 3; do for plan in drops flaps stragglers; do \
 		echo "== seed $$seed plan $$plan"; \
 		HAN_FAULT_SEED=$$seed HAN_FAULT_PLAN=$$plan \
 		$(GO) test -count=1 -run 'FaultMatrix|Chaos' ./internal/han/ ./internal/coll/ || exit 1; \
 	done; done
+	@for seed in 1 2 3; do for plan in crash-rank crash-node crash-coll; do \
+		echo "== seed $$seed crash plan $$plan"; \
+		HAN_FAULT_SEED=$$seed HAN_CRASH_PLAN=$$plan \
+		$(GO) test -count=1 -run 'CrashMatrix' ./internal/han/ || exit 1; \
+	done; done
+
+# Chaos soak (the CI chaos-soak job): the fault and crash matrices under
+# the race detector across five seeds — the long-haul robustness gate.
+chaos-soak:
+	@for seed in 1 2 3 4 5; do for plan in drops flaps stragglers combined; do \
+		echo "== soak seed $$seed plan $$plan"; \
+		HAN_FAULT_SEED=$$seed HAN_FAULT_PLAN=$$plan \
+		$(GO) test -race -count=1 -run 'FaultMatrix|Chaos' ./internal/han/ || exit 1; \
+	done; done
+	@for seed in 1 2 3 4 5; do for plan in crash-rank crash-node crash-coll; do \
+		echo "== soak seed $$seed crash plan $$plan"; \
+		HAN_FAULT_SEED=$$seed HAN_CRASH_PLAN=$$plan \
+		$(GO) test -race -count=1 -run 'CrashMatrix|Crash|Shrink|Abort' ./internal/han/ ./internal/mpi/ || exit 1; \
+	done; done
+
+# Native fuzzing smoke: a few seconds per fault-plan fuzz target, enough
+# to catch validator/occurrence regressions without a dedicated fleet.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzPlanValidate -fuzztime 5s ./internal/fault/
+	$(GO) test -run xxx -fuzz FuzzOccurrences -fuzztime 5s ./internal/fault/
 
 # Documentation gate (the CI `docs` job): observability goldens and the
 # docs-coverage contract, the checked-in critical-path report, and the

@@ -38,7 +38,7 @@ func main() {
 	refAlloc := flag.Bool("refalloc", false, "use the from-scratch reference rate allocator instead of the incremental one (A/B debugging; results are bit-identical, only wall-clock differs)")
 	refPool := flag.Bool("refpool", false, "disable arena pooling of flows and P2P records (A/B debugging; results are bit-identical, only wall-clock and allocation volume differ)")
 	scaleTier := flag.Bool("scale", false, "run the payload-free phantom scale tier instead of the IMB sweep: one HAN broadcast of the first size, no barriers, with memory accounting (use -nodes/-ppn to set the world; default 3072x32 = 98304 ranks)")
-	faultsFlag := flag.String("faults", "", "built-in fault plan to inject: "+strings.Join(fault.BuiltinNames(), ", "))
+	faultsFlag := flag.String("faults", "", "fault plan to inject: a built-in name ("+strings.Join(fault.BuiltinNames(), ", ")+") or @path.json to load a plan from disk")
 	seed := flag.Int64("seed", 0, "RNG seed for jitter and fault draws (0 = library default); the (seed, faults) pair fully determines the run")
 	metricsOut := flag.String("metrics", "", "write an OpenMetrics text export of the sweep's runtime counters to this file (docs/OBSERVABILITY.md)")
 	workers := flag.Int("workers", 0, "concurrent per-system benchmark workers (0 = GOMAXPROCS; forced to 1 with -metrics); results are identical for any value")
@@ -117,7 +117,13 @@ func main() {
 	var opts bench.IMBOpts
 	opts.Seed = *seed
 	if *faultsFlag != "" {
-		plan, err := fault.Builtin(*faultsFlag)
+		var plan fault.Plan
+		var err error
+		if path, ok := strings.CutPrefix(*faultsFlag, "@"); ok {
+			plan, err = fault.LoadFile(path)
+		} else {
+			plan, err = fault.Builtin(*faultsFlag)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hanbench:", err)
 			os.Exit(2)

@@ -44,6 +44,28 @@ var builtins = map[string]Plan{
 			{Rank: 1, At: 10e-6, Duration: 90e-6, Factor: 6, Repeat: 350e-6, Count: 200},
 		},
 	},
+	// crash-rank: a single non-leader rank dies early in the run. Sized for
+	// the Mini(3,4) chaos topology (12 ranks); out-of-range specs on smaller
+	// machines are skipped like any other plan entry.
+	"crash-rank": {
+		Crashes: []CrashSpec{
+			{Rank: 5, At: 50e-6},
+		},
+	},
+	// crash-node: rank 4's whole node dies — on Mini(3,4) that is node 1
+	// including its group leader, the hardest HAN recovery case.
+	"crash-node": {
+		Crashes: []CrashSpec{
+			{Rank: 4, Node: true, At: 50e-6},
+		},
+	},
+	// crash-coll: rank 2 dies as it enters its 2nd collective, exercising
+	// the mid-workload trigger and the collective watchdog backstop.
+	"crash-coll": {
+		Crashes: []CrashSpec{
+			{Rank: 2, AfterColl: 2},
+		},
+	},
 	// none: the all-zero plan; attaching it must not perturb a run.
 	"none": {},
 }

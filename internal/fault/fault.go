@@ -103,18 +103,45 @@ type Straggler struct {
 	Count  int
 }
 
+// CrashSpec describes one permanent failure: a rank (or its whole node)
+// stops executing forever at a deterministic point. Unlike drops and flaps,
+// a crash is not recovered from at the transport level — the failure
+// detector declares the victim dead and the upper layers either shrink
+// around it or abort (see internal/mpi and internal/han).
+type CrashSpec struct {
+	// Rank is the world rank that crashes.
+	Rank int
+	// Node, when true, takes down the victim's entire node: every rank on
+	// the node containing Rank dies at the same instant. The HAN case this
+	// exercises is a crashed group leader stranding its node group.
+	Node bool
+	// At is the simulated crash time in seconds. Ignored when AfterColl is
+	// set.
+	At float64
+	// AfterColl, when positive, crashes the victim as it enters its
+	// AfterColl-th collective (1-based, counted per rank) instead of at a
+	// wall-clock time. At and AfterColl are mutually exclusive.
+	AfterColl int
+}
+
 // Plan is a full fault schedule. The zero value is the all-zero plan: it
 // injects nothing.
 type Plan struct {
 	Drops      DropSpec
 	Flaps      []LinkFlap
 	Stragglers []Straggler
+	Crashes    []CrashSpec
 }
 
 // IsZero reports whether the plan injects nothing at all.
 func (p Plan) IsZero() bool {
-	return !p.Drops.enabled() && len(p.Flaps) == 0 && len(p.Stragglers) == 0
+	return !p.Drops.enabled() && len(p.Flaps) == 0 && len(p.Stragglers) == 0 && len(p.Crashes) == 0
 }
+
+// HasCrashes reports whether the plan kills any rank permanently. Suites
+// that assert payload correctness on every rank skip such plans and are
+// covered by the dedicated crash suites instead.
+func (p Plan) HasCrashes() bool { return len(p.Crashes) > 0 }
 
 // Validate reports the first inconsistency in the plan.
 func (p Plan) Validate() error {
@@ -150,6 +177,20 @@ func (p Plan) Validate() error {
 		}
 		if s.At < 0 || s.Duration <= 0 {
 			return fmt.Errorf("fault: straggler %d: need At >= 0 and Duration > 0", i)
+		}
+	}
+	for i, c := range p.Crashes {
+		if c.Rank < 0 {
+			return fmt.Errorf("fault: crash %d: negative rank", i)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("fault: crash %d: negative At", i)
+		}
+		if c.AfterColl < 0 {
+			return fmt.Errorf("fault: crash %d: negative AfterColl", i)
+		}
+		if c.At > 0 && c.AfterColl > 0 {
+			return fmt.Errorf("fault: crash %d: At and AfterColl are mutually exclusive", i)
 		}
 	}
 	return nil
@@ -248,6 +289,17 @@ func (in *Injector) OverheadScale(rank int) float64 {
 // false, the P2P layer keeps its original (ack-free) eager path, so the
 // hooks cannot perturb the run.
 func (in *Injector) DropsEnabled() bool { return in != nil && in.plan.Drops.enabled() }
+
+// CrashesEnabled reports whether the plan kills any rank permanently.
+func (in *Injector) CrashesEnabled() bool { return in != nil && in.plan.HasCrashes() }
+
+// Crashes returns the plan's crash schedule (nil when none).
+func (in *Injector) Crashes() []CrashSpec {
+	if in == nil {
+		return nil
+	}
+	return in.plan.Crashes
+}
 
 // DropEager decides whether the eager payload attempt number `attempt`
 // (0-based) issued at simulated time now is lost. Outside the active

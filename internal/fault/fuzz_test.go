@@ -1,0 +1,85 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPlanValidate checks that Validate is total (never panics) on
+// arbitrary numeric inputs, and that any plan it accepts is also accepted
+// by NewInjector (which panics on invalid plans — the two must agree).
+func FuzzPlanValidate(f *testing.F) {
+	f.Add(0.2, 6, 100e-6, 0.0, 0, 0.0, 1.0, 0.1, 3, 50e-6, 2, false)
+	f.Add(0.0, 0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0, 0.0, 0, false)
+	f.Add(-0.5, -1, -1.0, -1.0, -3, -2.0, -1.0, 0.0, -1, -50e-6, -2, true)
+	f.Add(0.99, 1, 1e-9, 5.0, 2, 1.0, 2.0, 8.0, 0, 0.0, 1, true)
+	f.Fuzz(func(t *testing.T, prob float64, maxPerMsg int, rto float64,
+		flapAt float64, flapCount int, stragAt, stragDur, stragFactor float64,
+		crashRank int, crashAt float64, afterColl int, node bool) {
+		p := Plan{
+			Drops: DropSpec{Prob: prob, MaxPerMsg: maxPerMsg, RTO: rto},
+			Flaps: []LinkFlap{
+				{Node: 0, Link: LinkNICOut, At: flapAt, Duration: 100e-6, Factor: 0.5, Repeat: 300e-6, Count: flapCount},
+			},
+			Stragglers: []Straggler{
+				{Rank: 1, At: stragAt, Duration: stragDur, Factor: stragFactor},
+			},
+			Crashes: []CrashSpec{
+				{Rank: crashRank, Node: node, At: crashAt, AfterColl: afterColl},
+			},
+		}
+		err := p.Validate()
+		if err != nil {
+			return
+		}
+		// Accepted plans must satisfy the documented invariants...
+		for _, c := range p.Crashes {
+			if c.Rank < 0 || c.At < 0 || c.AfterColl < 0 || (c.At > 0 && c.AfterColl > 0) {
+				t.Fatalf("Validate accepted invalid crash spec %+v", c)
+			}
+		}
+		if p.Drops.Prob < 0 || p.Drops.Prob >= 1 {
+			t.Fatalf("Validate accepted drop prob %v", p.Drops.Prob)
+		}
+		// ...and round-trip through NewInjector without panicking.
+		NewInjector(p, func() float64 { return 0.5 })
+	})
+}
+
+// FuzzOccurrences checks the repeat/count edge semantics: exactly one
+// window unless repeat > 0 and count > 1, in which case exactly count
+// windows, each of the given duration and repeat apart.
+func FuzzOccurrences(f *testing.F) {
+	f.Add(0.0, 100e-6, 0.0, 0)
+	f.Add(10e-6, 100e-6, 300e-6, 5)
+	f.Add(1.0, 0.5, 0.25, 2) // repeat < duration: overlapping windows still enumerate
+	f.Add(0.0, 1.0, 1.0, 1)
+	f.Add(-1.0, -1.0, -1.0, -1)
+	f.Fuzz(func(t *testing.T, at, duration, repeat float64, count int) {
+		if count > 1<<16 {
+			t.Skip("unbounded enumeration; Install bounds count via plan authorship")
+		}
+		want := 1
+		if repeat > 0 && count > 1 {
+			want = count
+		}
+		var got int
+		var prevStart float64
+		occurrences(at, duration, repeat, count, func(start, end float64) {
+			if got > 0 && repeat > 0 && !math.IsNaN(start) && !math.IsNaN(prevStart) {
+				if diff := start - prevStart; math.Abs(diff-repeat) > 1e-9*math.Max(1, math.Abs(repeat)) {
+					t.Fatalf("window %d starts %v after previous, want %v", got, diff, repeat)
+				}
+			}
+			if !math.IsNaN(start) && !math.IsNaN(duration) && math.Abs(end-(start+duration)) > 1e-12 {
+				t.Fatalf("window [%v, %v) has duration %v, want %v", start, end, end-start, duration)
+			}
+			prevStart = start
+			got++
+		})
+		if got != want {
+			t.Fatalf("occurrences(at=%v dur=%v repeat=%v count=%d) visited %d windows, want %d",
+				at, duration, repeat, count, got, want)
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Load decodes a Plan from JSON. Unknown fields are rejected (a typoed
+// field name silently ignoring half the plan is worse than an error), and
+// the decoded plan must pass Validate.
+func Load(r io.Reader) (Plan, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("fault: decode plan: %w", err)
+	}
+	// Trailing garbage after the plan object is almost always a concatenated
+	// or truncated file; reject it rather than silently using the first doc.
+	if dec.More() {
+		return Plan{}, fmt.Errorf("fault: trailing data after plan object")
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// LoadFile reads a user-authored Plan from a JSON file. It backs the
+// `hanbench -faults @path.json` syntax.
+func LoadFile(path string) (Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("fault: %w", err)
+	}
+	defer f.Close()
+	p, err := Load(f)
+	if err != nil {
+		return Plan{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadFileValid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	const doc = `{
+		"Drops": {"Prob": 0.1},
+		"Crashes": [
+			{"Rank": 4, "Node": true, "At": 5e-5},
+			{"Rank": 2, "AfterColl": 3}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if !p.HasCrashes() || len(p.Crashes) != 2 {
+		t.Fatalf("crashes not decoded: %+v", p)
+	}
+	if !p.Crashes[0].Node || p.Crashes[0].Rank != 4 {
+		t.Fatalf("crash 0 mis-decoded: %+v", p.Crashes[0])
+	}
+	if p.Crashes[1].AfterColl != 3 {
+		t.Fatalf("crash 1 mis-decoded: %+v", p.Crashes[1])
+	}
+}
+
+func TestLoadFileRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"unknown field", `{"Dorps": {"Prob": 0.1}}`, "unknown field"},
+		{"invalid plan", `{"Crashes": [{"Rank": -1}]}`, "negative rank"},
+		{"both triggers", `{"Crashes": [{"Rank": 1, "At": 1e-5, "AfterColl": 2}]}`, "mutually exclusive"},
+		{"trailing data", `{} {}`, "trailing data"},
+		{"not json", `hello`, "decode plan"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "plan.json")
+			if err := os.WriteFile(path, []byte(tc.doc), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadFile(path)
+			if err == nil {
+				t.Fatalf("LoadFile accepted %q", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Fatalf("error %q does not name the file", err)
+			}
+		})
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("LoadFile accepted a missing file")
+	}
+}
+
+func TestCrashBuiltinsValidate(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		p, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("builtin %q invalid: %v", name, err)
+		}
+		wantCrash := strings.HasPrefix(name, "crash-")
+		if p.HasCrashes() != wantCrash {
+			t.Fatalf("builtin %q: HasCrashes=%v, want %v", name, p.HasCrashes(), wantCrash)
+		}
+	}
+}

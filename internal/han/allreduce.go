@@ -20,8 +20,10 @@ import (
 // operation must be commutative. Results land in rbuf on every rank.
 //
 // A *BufferSizeError is returned on mismatched buffers; a *FallbackError
-// notes a degraded (flat) path that still completed correctly.
-func (h *HAN) Allreduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) error {
+// notes a degraded (flat) path that still completed correctly. When ranks
+// have died, the OnFailure policy applies: Abort returns a
+// *RankFailedError, Shrink completes on the survivor communicator.
+func (h *HAN) Allreduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config) (err error) {
 	w := h.W
 	if sbuf.N != rbuf.N {
 		return &BufferSizeError{Op: "Allreduce", Got: rbuf.N, Want: sbuf.N}
@@ -33,9 +35,18 @@ func (h *HAN) Allreduce(p *mpi.Proc, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datat
 		rbuf.CopyFrom(sbuf)
 		return nil
 	}
-	cfg, err := h.resolve(coll.Allreduce, sbuf.N, cfg)
+	if sc, eerr := h.enterWorld("Allreduce"); eerr != nil {
+		return eerr
+	} else if sc != nil {
+		return h.recovered(p, "Allreduce", sc, h.allreduceComm(p, sc, sbuf, rbuf, op, dt, cfg, true))
+	}
+	cfg, err = h.resolve(coll.Allreduce, sbuf.N, cfg)
 	if err != nil {
 		return err
+	}
+	if w.CrashArmed() {
+		epoch0 := w.DeathEpoch()
+		defer func() { err = h.exitCheck("Allreduce", epoch0, err) }()
 	}
 	defer h.span(p, w.World(), "han.Allreduce", sbuf.N)()
 	node, leaders := h.comms(p)

@@ -19,14 +19,30 @@ import (
 //
 // The broadcast always completes correctly; a non-nil return is a
 // *FallbackError note recording that a degraded (flat) path was used.
-func (h *HAN) Bcast(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) error {
+// When ranks have died (the fault plan contains crashes), the OnFailure
+// policy applies: Abort returns a *RankFailedError, Shrink completes on
+// the survivor communicator (the root must be a survivor).
+func (h *HAN) Bcast(p *mpi.Proc, buf mpi.Buf, root int, cfg Config) (err error) {
 	w := h.W
 	if w.Size() == 1 || buf.N == 0 {
 		return nil
 	}
-	cfg, err := h.resolve(coll.Bcast, buf.N, cfg)
+	if sc, eerr := h.enterWorld("Bcast"); eerr != nil {
+		return eerr
+	} else if sc != nil {
+		cr := sc.RankOfWorld(root)
+		if cr < 0 {
+			return h.rankFailed("Bcast") // the root itself died
+		}
+		return h.recovered(p, "Bcast", sc, h.bcastComm(p, sc, buf, cr, cfg, true))
+	}
+	cfg, err = h.resolve(coll.Bcast, buf.N, cfg)
 	if err != nil {
 		return err
+	}
+	if w.CrashArmed() {
+		epoch0 := w.DeathEpoch()
+		defer func() { err = h.exitCheck("Bcast", epoch0, err) }()
 	}
 	defer h.span(p, w.World(), "han.Bcast", buf.N)()
 	node, leaders := h.comms(p)

@@ -27,8 +27,11 @@ type hier struct {
 
 // analyze decomposes communicator c for rank p. A *HierarchyError reports
 // why the two-level pipeline cannot run; the caller then degrades to a
-// flat collective.
-func (h *HAN) analyze(p *mpi.Proc, c *mpi.Comm, op string) (*hier, error) {
+// flat collective. relaxed waives the uniform-ppn requirement — crash
+// recovery uses it so a survivor communicator missing single ranks still
+// runs hierarchically, with each node group led by its first surviving
+// member (the leader re-election of the recovery design).
+func (h *HAN) analyze(p *mpi.Proc, c *mpi.Comm, op string, relaxed bool) (*hier, error) {
 	w := h.W
 	if c == w.World() {
 		// Fast path: the world communicator is regular by construction and
@@ -59,12 +62,14 @@ func (h *HAN) analyze(p *mpi.Proc, c *mpi.Comm, op string) (*hier, error) {
 	if len(nodeOrder) == 1 {
 		return nil, &HierarchyError{Op: op, Reason: fmt.Sprintf("all %d ranks on one node", c.Size())}
 	}
-	per := len(groups[nodeOrder[0]])
-	for _, n := range nodeOrder {
-		if len(groups[n]) != per {
-			return nil, &HierarchyError{Op: op, Reason: fmt.Sprintf(
-				"non-uniform ppn: node %d has %d ranks, node %d has %d",
-				nodeOrder[0], per, n, len(groups[n]))}
+	if !relaxed {
+		per := len(groups[nodeOrder[0]])
+		for _, n := range nodeOrder {
+			if len(groups[n]) != per {
+				return nil, &HierarchyError{Op: op, Reason: fmt.Sprintf(
+					"non-uniform ppn: node %d has %d ranks, node %d has %d",
+					nodeOrder[0], per, n, len(groups[n]))}
+			}
 		}
 	}
 
@@ -100,16 +105,36 @@ func (h *HAN) BcastComm(p *mpi.Proc, c *mpi.Comm, buf mpi.Buf, root int, cfg Con
 	if c == h.W.World() {
 		return h.Bcast(p, buf, c.WorldRank(root), cfg)
 	}
+	if sc, err := h.enterComm(c, "BcastComm"); err != nil {
+		return err
+	} else if sc != nil {
+		cr := sc.RankOfWorld(c.WorldRank(root))
+		if cr < 0 {
+			return h.rankFailed("BcastComm") // the root itself died
+		}
+		return h.recovered(p, "BcastComm", sc, h.bcastComm(p, sc, buf, cr, cfg, true))
+	}
+	return h.bcastComm(p, c, buf, root, cfg, false)
+}
+
+// bcastComm is BcastComm after failure-policy resolution: c is the
+// communicator to actually broadcast over, relaxed is true on survivor
+// communicators (waiving the uniform-ppn hierarchy check).
+func (h *HAN) bcastComm(p *mpi.Proc, c *mpi.Comm, buf mpi.Buf, root int, cfg Config, relaxed bool) (err error) {
 	if c.Size() == 1 || buf.N == 0 {
 		return nil
 	}
-	cfg, err := h.resolve(coll.Bcast, buf.N, cfg)
+	cfg, err = h.resolve(coll.Bcast, buf.N, cfg)
 	if err != nil {
 		return err
 	}
+	if h.W.CrashArmed() {
+		epoch0 := h.W.DeathEpoch()
+		defer func() { err = h.exitCheck("BcastComm", epoch0, err) }()
+	}
 	defer h.span(p, c, "han.BcastComm", buf.N)()
 
-	hr, herr := h.analyze(p, c, "BcastComm")
+	hr, herr := h.analyze(p, c, "BcastComm", relaxed)
 	if herr == nil && hr.leaders.RankOfWorld(c.WorldRank(root)) < 0 {
 		herr = &HierarchyError{Op: "BcastComm",
 			Reason: fmt.Sprintf("root %d is not a node leader within the communicator", root)}
@@ -149,6 +174,17 @@ func (h *HAN) AllreduceComm(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi
 	if sbuf.N != rbuf.N {
 		return &BufferSizeError{Op: "AllreduceComm", Got: rbuf.N, Want: sbuf.N}
 	}
+	if sc, err := h.enterComm(c, "AllreduceComm"); err != nil {
+		return err
+	} else if sc != nil {
+		return h.recovered(p, "AllreduceComm", sc, h.allreduceComm(p, sc, sbuf, rbuf, op, dt, cfg, true))
+	}
+	return h.allreduceComm(p, c, sbuf, rbuf, op, dt, cfg, false)
+}
+
+// allreduceComm is AllreduceComm after failure-policy resolution; see
+// bcastComm.
+func (h *HAN) allreduceComm(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi.Op, dt mpi.Datatype, cfg Config, relaxed bool) (err error) {
 	if sbuf.N == 0 {
 		return nil
 	}
@@ -156,13 +192,17 @@ func (h *HAN) AllreduceComm(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf mpi.Buf, op mpi
 		rbuf.CopyFrom(sbuf)
 		return nil
 	}
-	cfg, err := h.resolve(coll.Allreduce, sbuf.N, cfg)
+	cfg, err = h.resolve(coll.Allreduce, sbuf.N, cfg)
 	if err != nil {
 		return err
 	}
+	if h.W.CrashArmed() {
+		epoch0 := h.W.DeathEpoch()
+		defer func() { err = h.exitCheck("AllreduceComm", epoch0, err) }()
+	}
 	defer h.span(p, c, "han.AllreduceComm", sbuf.N)()
 
-	hr, herr := h.analyze(p, c, "AllreduceComm")
+	hr, herr := h.analyze(p, c, "AllreduceComm", relaxed)
 	if herr != nil {
 		p.Wait(h.Mods.Tuned.Iallreduce(p, c, sbuf, rbuf, op, dt, coll.Params{}))
 		return h.fallback(p, "AllreduceComm", "flat tuned", herr)

@@ -48,6 +48,29 @@ func (e *ConfigError) Error() string {
 	return fmt.Sprintf("han: %s: bad config: %s=%s", e.Op, e.Param, e.Value)
 }
 
+// RankFailedError reports a collective that could not (or, under the
+// Abort policy, was not allowed to) complete because ranks died: each dead
+// world rank with the detection path that declared it. Returned at entry
+// under OnFailure: Abort, and at exit — under either policy — when a rank
+// died mid-collective and the result is suspect. The application reissues
+// the collective; under Shrink the reissue completes on the survivors.
+type RankFailedError struct {
+	Op    string
+	Ranks []int    // dead world ranks, ascending
+	Via   []string // detection path per rank, parallel to Ranks
+}
+
+func (e *RankFailedError) Error() string {
+	s := fmt.Sprintf("han: %s: %d rank(s) failed:", e.Op, len(e.Ranks))
+	for i, r := range e.Ranks {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf(" rank %d (via %s)", r, e.Via[i])
+	}
+	return s
+}
+
 // FallbackError is a note, not a failure: the collective completed
 // correctly, but through a degraded path (typically the flat `tuned`
 // module or a lower-level HAN pipeline) because the hierarchy could not be

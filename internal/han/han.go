@@ -202,6 +202,11 @@ type HAN struct {
 	// Decide supplies per-call configurations when the caller passes the
 	// zero Config; defaults to DefaultDecision.
 	Decide DecisionFunc
+	// OnFailure selects how collectives respond to ranks the failure
+	// detector declared dead: Abort (the default) fails fast with a
+	// *RankFailedError, Shrink completes on the survivor communicator.
+	// Irrelevant unless the attached fault plan contains crashes.
+	OnFailure FailPolicy
 
 	// m holds the metric handles installed by EnableMetrics; always
 	// non-nil (the zero value's nil handles no-op).
@@ -299,6 +304,12 @@ func (h *HAN) traced(p *mpi.Proc, name string, size int, req *mpi.Request) *mpi.
 func (h *HAN) span(p *mpi.Proc, c *mpi.Comm, name string, size int) func() {
 	h.m.collEntered(name)
 	endWatch := h.W.CollBegin(p.Rank, c, name)
+	if p.Sim.Dying() {
+		// A crash-on-Nth-collective trigger just fired on this rank (or its
+		// node): unwind before issuing any task, so the victim's traffic
+		// stops exactly at the collective boundary.
+		p.Sim.Exit()
+	}
 	rec := h.W.Tracer
 	if rec == nil {
 		return endWatch

@@ -64,6 +64,17 @@ func (m *hanMetrics) collEntered(op string) {
 	}).Inc()
 }
 
+// recovery counts one rank taking a crash-recovery action at a collective
+// boundary: "shrink" (completing on the survivor communicator), "abort"
+// (failing fast with a *RankFailedError), or "reelect" (a node whose dead
+// group leader was replaced by its first surviving member).
+func (m *hanMetrics) recovery(action string) {
+	m.reg.Counter(metrics.Opts{
+		Name: "han_recovery", Help: "Crash-recovery actions at collective boundaries, by action.",
+		Labels: map[string]string{"action": action},
+	}).Inc()
+}
+
 // fallbackTaken counts one rank completing the named collective through a
 // degraded path.
 func (m *hanMetrics) fallbackTaken(op string) {

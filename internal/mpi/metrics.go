@@ -27,6 +27,11 @@ type worldMetrics struct {
 
 	watchdogArmed *metrics.Counter
 	watchdogFired *metrics.Counter
+
+	crashesInjected    *metrics.Counter // mpi_crashes_injected
+	peerDeadHeartbeat  *metrics.Counter // mpi_peer_dead{via="heartbeat"}
+	peerDeadRetransmit *metrics.Counter // mpi_peer_dead{via="retransmit"}
+	deadLetters        *metrics.Counter // mpi_dead_letters
 }
 
 // EnableMetrics registers the runtime's metric families with reg and
@@ -78,6 +83,20 @@ func (w *World) EnableMetrics(reg *metrics.Registry) {
 		}),
 		watchdogFired: reg.Counter(metrics.Opts{
 			Name: "mpi_watchdog_fired", Help: "Watchdog timeouts that aborted the run.",
+		}),
+		crashesInjected: reg.Counter(metrics.Opts{
+			Name: "mpi_crashes_injected", Help: "Ranks permanently killed by the fault plan.",
+		}),
+		peerDeadHeartbeat: reg.Counter(metrics.Opts{
+			Name: "mpi_peer_dead", Help: "Failure-detector death declarations, by detection path.",
+			Labels: map[string]string{"via": "heartbeat"},
+		}),
+		peerDeadRetransmit: reg.Counter(metrics.Opts{
+			Name: "mpi_peer_dead", Help: "Failure-detector death declarations, by detection path.",
+			Labels: map[string]string{"via": "retransmit"},
+		}),
+		deadLetters: reg.Counter(metrics.Opts{
+			Name: "mpi_dead_letters", Help: "Messages addressed at crashed ranks and discarded.",
 		}),
 	}
 }

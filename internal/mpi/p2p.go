@@ -67,6 +67,12 @@ func (w *World) endpoint(ctx, dstWorld int) *endpoint {
 	if ep == nil {
 		ep = &endpoint{}
 		w.eps[k] = ep
+		if w.crash != nil {
+			// Register per rank so a crash can tear the rank's matching
+			// state down in creation order (never by ranging w.eps — the
+			// maporder invariant).
+			w.crash.eps[dstWorld] = append(w.crash.eps[dstWorld], ep)
+		}
 	}
 	return ep
 }
@@ -112,6 +118,18 @@ func (c *Comm) Isend(p *Proc, buf Buf, dst, tag int) *Request {
 	req.site = WaitSite{Op: "send", Peer: dst, Tag: tag, Ctx: c.ctx}
 	srcW, dstW := p.Rank, c.ranks[dst]
 	eng := w.Eng()
+	if cs := w.crash; cs != nil {
+		if cs.dead[dstW] {
+			// The peer has already been declared dead: fail fast instead of
+			// spending attempts against a rank every survivor knows is gone.
+			w.m.deadLetters.Inc()
+			req.fail(eng, &PeerDeadError{Rank: dstW, Via: cs.deadVia(dstW)})
+			return req
+		}
+		if cs.isTarget[dstW] {
+			cs.watch[dstW] = append(cs.watch[dstW], watchEntry{req: req})
+		}
+	}
 
 	// Snapshot real payloads so the sender may reuse its buffer as soon as
 	// the request completes, regardless of when the receiver copies.
@@ -198,7 +216,7 @@ func (c *Comm) Isend(p *Proc, buf Buf, dst, tag int) *Request {
 	}
 	gate.Signal().OnFire(func() {
 		if msg.eager {
-			if w.faults.DropsEnabled() {
+			if w.faults.DropsEnabled() || w.crash != nil {
 				w.startEagerReliable(msg, req, startData, srcW, dstW)
 			} else {
 				startData(func() {
@@ -238,13 +256,39 @@ func (w *World) startEagerReliable(msg *message, req *Request, startData func(fu
 	var rto sim.Timer
 	var try func()
 	try = func() {
+		if acked || req.err != nil {
+			return
+		}
+		cs := w.crash
+		if cs != nil && cs.dead[dstW] {
+			// Declared dead while we were retransmitting: stop resending.
+			rto.Cancel()
+			req.fail(eng, &PeerDeadError{Rank: dstW, Via: cs.deadVia(dstW)})
+			return
+		}
 		a := attempt
 		attempt++
+		if cs != nil && a >= w.sendAttemptCap() {
+			// Retransmit escalation: every bounded attempt went unacked, so
+			// the sender renders its own peer-dead verdict (crash.go).
+			rto.Cancel()
+			rtos := make([]float64, a)
+			for k := range rtos {
+				rtos[k] = w.faults.RTO(k)
+			}
+			req.fail(eng, &PeerUnreachableError{Rank: dstW, Attempts: a, RTOs: rtos})
+			w.declareDead(dstW, "retransmit")
+			return
+		}
 		if a > 0 {
 			w.m.retransmits.Inc()
 		}
-		dropped := w.faults.DropEager(float64(eng.Now()), a)
-		if dropped {
+		var dropped bool
+		if cs != nil && cs.crashed[dstW] {
+			// The receiver's NIC is gone: the payload vanishes unacked,
+			// without drawing plan randomness.
+			dropped = true
+		} else if dropped = w.faults.DropEager(float64(eng.Now()), a); dropped {
 			w.m.dropsInjected.Inc()
 			w.Tracer.Record(trace.Event{
 				T: float64(eng.Now()), Rank: srcW, Kind: trace.KindDrop,
@@ -286,6 +330,16 @@ func (c *Comm) Irecv(p *Proc, buf Buf, src, tag int) *Request {
 		panic("mpi: Irecv by non-member rank")
 	}
 	w := c.w
+	if cs := w.crash; cs != nil && src != AnySource {
+		if srcW := c.ranks[src]; cs.dead[srcW] {
+			// Nothing will ever arrive from a declared-dead peer.
+			w.m.deadLetters.Inc()
+			req := NewRequest()
+			req.site = WaitSite{Op: "recv", Peer: src, Tag: tag, Ctx: c.ctx}
+			req.fail(w.Eng(), &PeerDeadError{Rank: srcW, Via: cs.deadVia(srcW)})
+			return req
+		}
+	}
 	w.m.recvsPosted.Inc()
 	var r *recvReq
 	if w.p2pPooled() {
@@ -305,11 +359,21 @@ func (c *Comm) Irecv(p *Proc, buf Buf, src, tag int) *Request {
 		}
 	}
 	ep.posted = append(ep.posted, r)
+	if cs := w.crash; cs != nil && src != AnySource {
+		if srcW := c.ranks[src]; cs.isTarget[srcW] {
+			cs.watch[srcW] = append(cs.watch[srcW], watchEntry{req: r.req, rr: r, ep: ep})
+		}
+	}
 	return r.req
 }
 
 // deliver hands an arrived envelope to the receiver's matching engine.
 func (w *World) deliver(ctx, dstWorld int, m *message) {
+	if cs := w.crash; cs != nil && cs.crashed[dstWorld] {
+		// Dead letter: the receiver crashed before this envelope arrived.
+		w.m.deadLetters.Inc()
+		return
+	}
 	ep := w.endpoint(ctx, dstWorld)
 	for i, r := range ep.posted {
 		if matches(r, m) {

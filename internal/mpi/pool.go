@@ -110,7 +110,11 @@ func (w *World) pair(srcW, dstW int) *pairState {
 // configuration is final.
 func (w *World) p2pPooled() bool {
 	if w.p2pMode == p2pUndecided {
-		if w.pooling && !w.faults.DropsEnabled() {
+		// Drop plans force the reference path (per-attempt retransmission
+		// state), and so do crash plans: the watch registry and declaration
+		// machinery hold *Request pointers across collective boundaries,
+		// which pooled recycling would turn into stale slots.
+		if w.pooling && !w.faults.DropsEnabled() && w.crash == nil {
 			w.p2pMode = p2pPooledMode
 		} else {
 			w.p2pMode = p2pReferenceMode
@@ -128,6 +132,7 @@ func (w *World) initPools() {
 		Reset: func(r *Request) {
 			r.doneSig.Reset()
 			r.site = WaitSite{}
+			r.err = nil
 		},
 		Slot: func(r *Request) *arena.Slot { return &r.slot },
 	})

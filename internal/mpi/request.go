@@ -36,6 +36,10 @@ func (s *WaitSite) String() string {
 type Request struct {
 	doneSig sim.Signal
 	site    WaitSite
+	// err records a failed completion (peer declared dead, retransmit
+	// attempts exhausted). The request still completes — waiters wake — but
+	// the operation did not happen; Err exposes the verdict.
+	err error
 
 	pooled bool
 	slot   arena.Slot
@@ -56,6 +60,24 @@ func (r *Request) Test() bool { return r.doneSig.Fired() }
 
 // Complete marks the request complete at the current virtual time.
 func (r *Request) Complete(e *sim.Engine) { r.doneSig.Fire(e) }
+
+// Err returns the failure recorded on the request: a *PeerDeadError or
+// *PeerUnreachableError when the operation's peer died, nil for a normal
+// (or still pending) completion. Valid only on heap requests — pooled
+// requests are recycled the moment their Wait returns, but the crash
+// machinery forces the reference (heap) P2P path whenever crashes are
+// armed, so every request that can fail is inspectable.
+func (r *Request) Err() error { return r.err }
+
+// fail completes the request with an error. First failure wins; failing an
+// already-complete request is a no-op.
+func (r *Request) fail(e *sim.Engine, err error) {
+	if r.err != nil || r.doneSig.Fired() {
+		return
+	}
+	r.err = err
+	r.doneSig.Fire(e)
+}
 
 // CompletedRequest returns an already-complete request, useful for
 // zero-work fast paths (empty buffers, single-rank communicators).

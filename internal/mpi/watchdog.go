@@ -44,12 +44,25 @@ type CollTimeoutError struct {
 	Done    int // ranks that finished it
 	Size    int // communicator size
 	Blocked []sim.ParkedProc
+	// Dead lists crashed ranks (declared or not) at the moment the watchdog
+	// fired, so the report names the cause of the wedge, not just the
+	// parked survivors.
+	Dead []DeadRank
 }
 
 func (e *CollTimeoutError) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "mpi: collective %s on comm ctx %d timed out after %v: %d/%d ranks entered, %d finished",
 		e.Op, e.Ctx, e.Timeout, e.Entered, e.Size, e.Done)
+	if len(e.Dead) > 0 {
+		b.WriteString("; dead: ")
+		for i, d := range e.Dead {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(d.String())
+		}
+	}
 	if len(e.Blocked) > 0 {
 		b.WriteString("; blocked: ")
 		for i, pp := range e.Blocked {
@@ -86,6 +99,17 @@ func (w *World) SetCollTimeout(d sim.Time) {
 // no-op returning a cheap shared closure. Collective implementations call
 // it once per rank per operation.
 func (w *World) CollBegin(rank int, c *Comm, op string) (end func()) {
+	if cs := w.crash; cs != nil && cs.collCrash[rank] > 0 && !cs.crashed[rank] {
+		cs.collSeen[rank]++
+		if cs.collSeen[rank] == cs.collCrash[rank] {
+			// Crash-on-Nth-collective trigger: the victim (and, for a node
+			// spec, its whole node) dies as it enters this collective. The
+			// calling process is now dying; the collective entry point
+			// unwinds it before issuing any operation.
+			w.crashNow(rank, cs.collNode[rank])
+			return noopEnd
+		}
+	}
 	if w.collTimeout <= 0 {
 		return noopEnd
 	}
@@ -105,11 +129,16 @@ func (w *World) CollBegin(rank int, c *Comm, op string) (end func()) {
 				Op: op, Ctx: c.ctx, Timeout: timeout,
 				Entered: cw.entered, Done: cw.done, Size: cw.size,
 				Blocked: w.Eng().ParkedSites(),
+				Dead:    w.DeadReports(),
 			})
 		})
 	}
 	cw.entered++
 	return func() {
+		if cs := w.crash; cs != nil && cs.crashed[rank] {
+			// A dying rank's deferred span closer must not count as done.
+			return
+		}
 		cw.done++
 		if cw.done == cw.size {
 			cw.timer.Cancel()

@@ -66,6 +66,21 @@ type World struct {
 	// code: no extra events, no RNG draws.
 	faults *fault.Injector
 
+	// crash, when non-nil, holds the permanent-failure state (crash.go):
+	// the attached plan contains CrashSpecs. Nil leaves every hot path
+	// crash-free.
+	crash *crashState
+	// procs registers every simulated process per rank (main bodies and
+	// helpers), so a crash can kill all of a rank's execution. Maintained
+	// unconditionally — a few appends per spawn — so AttachFaults and
+	// Start may come in either order.
+	procs [][]*sim.Proc
+	// Failure-detection knobs; zero values mean the crash.go defaults.
+	maxSendAttempts int
+	hbPeriod        float64
+	hbSuspicion     float64
+	hbConfigured    bool
+
 	// Progress watchdog state (SetCollTimeout). Zero timeout disables it.
 	collTimeout sim.Time
 	collWatch   map[collKey]*collWatch
@@ -89,6 +104,7 @@ func NewWorld(m *cluster.Machine, pers *Personality) *World {
 		rng:         rand.New(rand.NewSource(1)),
 		m:           &worldMetrics{},
 		pooling:     arena.Default,
+		procs:       make([][]*sim.Proc, m.Spec.Ranks()),
 	}
 	w.initPools()
 	all := make([]int, m.Spec.Ranks())
@@ -223,9 +239,10 @@ func (p *Proc) Wait(reqs ...*Request) {
 // rank's CPU resource with every other process of the rank.
 func (p *Proc) SpawnHelper(name string, fn func(*Proc)) {
 	w, rank := p.W, p.Rank
-	p.Sim.Engine().Spawn(fmt.Sprintf("rank%d.%s", rank, name), func(sp *sim.Proc) {
+	sp := p.Sim.Engine().Spawn(fmt.Sprintf("rank%d.%s", rank, name), func(sp *sim.Proc) {
 		fn(&Proc{Sim: sp, W: w, Rank: rank})
 	})
+	w.procs[rank] = append(w.procs[rank], sp)
 }
 
 // Start spawns one simulated process per rank, each executing fn. The
@@ -233,9 +250,10 @@ func (p *Proc) SpawnHelper(name string, fn func(*Proc)) {
 func (w *World) Start(fn func(*Proc)) {
 	for r := 0; r < w.Size(); r++ {
 		r := r
-		w.Eng().Spawn(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
+		sp := w.Eng().Spawn(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
 			fn(&Proc{Sim: sp, W: w, Rank: r})
 		})
+		w.procs[r] = append(w.procs[r], sp)
 	}
 }
 
@@ -245,11 +263,12 @@ func (w *World) Start(fn func(*Proc)) {
 func (w *World) StartE(fn func(*Proc) error) {
 	for r := 0; r < w.Size(); r++ {
 		r := r
-		w.Eng().Spawn(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
+		sp := w.Eng().Spawn(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
 			if err := fn(&Proc{Sim: sp, W: w, Rank: r}); err != nil {
 				w.Eng().Stop(&RankError{Rank: r, Err: err})
 			}
 		})
+		w.procs[r] = append(w.procs[r], sp)
 	}
 }
 
@@ -296,6 +315,9 @@ func (w *World) AttachFaults(plan fault.Plan) {
 	}
 	w.faults = fault.NewInjector(plan, func() float64 { return w.rng.Float64() })
 	w.faults.Install(w.Mach)
+	if w.faults.CrashesEnabled() {
+		w.armCrashes()
+	}
 }
 
 // Faults returns the attached fault injector, or nil.

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+)
+
+// A killed signal-parked process must unwind (running defers) and the
+// engine must drain cleanly even if the signal later fires.
+func TestKillParkedProc(t *testing.T) {
+	e := New()
+	s := NewSignal()
+	var unwound, ranPastWait bool
+	p := e.Spawn("victim", func(p *Proc) {
+		defer func() { unwound = true }()
+		p.Wait(s)
+		ranPastWait = true
+	})
+	e.Schedule(1, func() { e.Kill(p) })
+	e.Schedule(2, func() { s.Fire(e) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !unwound {
+		t.Fatal("killed proc did not run its deferred functions")
+	}
+	if ranPastWait {
+		t.Fatal("killed proc executed code past its park point")
+	}
+	if !p.Dying() || !p.finished {
+		t.Fatalf("proc state: dying=%v finished=%v", p.Dying(), p.finished)
+	}
+}
+
+// Killing a sleeping process lets it unwind at the sleep expiry.
+func TestKillSleepingProc(t *testing.T) {
+	e := New()
+	var after bool
+	p := e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(10)
+		after = true
+	})
+	e.Schedule(1, func() { e.Kill(p) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if after {
+		t.Fatal("killed sleeper executed code past its sleep")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("sleeper should unwind at its pending resume (t=10), drained at %v", e.Now())
+	}
+}
+
+// Killing a process whose start event has not fired yet skips the body
+// entirely.
+func TestKillBeforeStart(t *testing.T) {
+	e := New()
+	var ran bool
+	p := e.SpawnAt(5, "late", func(p *Proc) { ran = true })
+	e.Schedule(1, func() { e.Kill(p) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran {
+		t.Fatal("killed proc body ran despite pre-start Kill")
+	}
+}
+
+// Exit terminates the calling process immediately; siblings are unaffected.
+func TestExitFromProcess(t *testing.T) {
+	e := New()
+	var after, sibling bool
+	e.Spawn("quitter", func(p *Proc) {
+		p.Sleep(1)
+		p.Exit()
+		after = true //nolint:govet // unreachable by design
+	})
+	e.Spawn("sibling", func(p *Proc) {
+		p.Sleep(2)
+		sibling = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if after {
+		t.Fatal("code after Exit ran")
+	}
+	if !sibling {
+		t.Fatal("sibling did not complete")
+	}
+}
+
+// Killing a finished process is a no-op; double Kill is a no-op.
+func TestKillIdempotent(t *testing.T) {
+	e := New()
+	p := e.Spawn("quick", func(p *Proc) {})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	e.Kill(p) // finished: no-op
+	e.Kill(p)
+	e.Kill(nil)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run after no-op kills: %v", err)
+	}
+}
+
+// A process that kills itself via Engine.Kill unwinds at its next wait.
+func TestSelfKillUnwindsAtNextWait(t *testing.T) {
+	e := New()
+	s := NewSignal()
+	var past bool
+	e.Spawn("selfkill", func(p *Proc) {
+		e.Kill(p)
+		p.Wait(s)
+		past = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if past {
+		t.Fatal("self-killed proc ran past its wait")
+	}
+}
+
+// A signal with both live and dying waiters resumes only the live ones.
+func TestFireSkipsDyingWaiters(t *testing.T) {
+	e := New()
+	s := NewSignal()
+	var live, dead bool
+	victim := e.Spawn("victim", func(p *Proc) {
+		p.Wait(s)
+		dead = true
+	})
+	e.Spawn("survivor", func(p *Proc) {
+		p.Wait(s)
+		live = true
+	})
+	e.Schedule(1, func() { e.Kill(victim) })
+	e.Schedule(2, func() { s.Fire(e) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if dead {
+		t.Fatal("dying waiter was resumed by Fire")
+	}
+	if !live {
+		t.Fatal("live waiter was not resumed")
+	}
+}

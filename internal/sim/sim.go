@@ -293,6 +293,12 @@ type Proc struct {
 	// parked, not just that it is. Formatting is deferred to report time so
 	// the hot path never allocates a string.
 	site fmt.Stringer
+	// dying marks a process killed by Kill (or one that called Exit): its
+	// goroutine unwinds at the next scheduling point and never runs again.
+	dying bool
+	// finished is set once the process goroutine has returned, so Kill on a
+	// completed process is a no-op instead of a hang.
+	finished bool
 }
 
 // Engine returns the engine this process belongs to.
@@ -326,10 +332,52 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(*Proc)) *Proc {
 	return p
 }
 
+// procExit is the panic sentinel that unwinds a killed process goroutine at
+// its next scheduling point. The spawn wrapper recovers it and treats the
+// unwind as a clean process exit (deferred functions still run).
+type procExit struct{}
+
+// Exit terminates the calling process immediately: its goroutine unwinds
+// through deferred functions and never runs again. Must be called from
+// process context (inside the process's own body).
+func (p *Proc) Exit() {
+	p.dying = true
+	panic(procExit{})
+}
+
+// Dying reports whether the process has been killed (or called Exit) and is
+// unwinding or waiting to unwind.
+func (p *Proc) Dying() bool { return p.dying }
+
+// Kill terminates a process from engine context (or from another process).
+// The victim's goroutine unwinds — running deferred functions — at its next
+// scheduling point and never executes user code again:
+//
+//   - signal-parked victims get exactly one unwind resume here (Signal.Fire
+//     skips dying waiters, so a later fire cannot double-resume them);
+//   - sleeping, pending-start, and mid-dispatch victims already hold a queued
+//     start/resume event and unwind when it fires;
+//   - a process killing itself unwinds at its next Sleep/Wait.
+//
+// Killing a finished or already-dying process is a no-op.
+func (e *Engine) Kill(p *Proc) {
+	if p == nil || p.dying || p.finished {
+		return
+	}
+	p.dying = true
+	if e.parked[p] {
+		delete(e.parked, p)
+		e.resumeAt(e.now, p)
+	}
+}
+
 // park hands the baton back to the engine and blocks until resumed.
 func (p *Proc) park() {
 	p.e.yield <- struct{}{}
 	<-p.resume
+	if p.dying {
+		panic(procExit{})
+	}
 }
 
 // resumeAt schedules an evResume for p at time t.
@@ -374,6 +422,12 @@ func (p *Proc) WaitAt(s *Signal, site fmt.Stringer) {
 }
 
 func (p *Proc) wait(s *Signal) {
+	if p.dying {
+		// Killed while running (self-Kill or a fired-signal fast path kept
+		// it going): unwind now rather than parking on a signal whose Fire
+		// would skip us forever.
+		panic(procExit{})
+	}
 	if s.fired {
 		return
 	}
@@ -481,6 +535,11 @@ func (s *Signal) Fire(e *Engine) {
 	waiters := s.waiters
 	s.waiters = nil
 	for _, p := range waiters {
+		if p.dying {
+			// Killed while parked here: Kill already scheduled the one
+			// unwind resume; a second resume would wedge the baton.
+			continue
+		}
 		delete(e.parked, p)
 		e.resumeAt(e.now, p)
 	}
@@ -677,13 +736,18 @@ func (e *Engine) Run() error {
 			//hanlint:allow simtime the one real goroutine per simulated process; the baton handoff below serialises it
 			go func() {
 				defer func() {
+					p.finished = true
 					if r := recover(); r != nil {
-						e.panicVal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+						if _, killed := r.(procExit); !killed {
+							e.panicVal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+						}
 					}
 					e.live--
 					e.yield <- struct{}{}
 				}()
-				body(p)
+				if !p.dying {
+					body(p)
+				}
 			}()
 			<-e.yield
 		case evResume:

@@ -39,6 +39,7 @@ const (
 	KindTaskEnd   Kind = "task-end"   // HAN task completed
 	KindDrop      Kind = "drop"       // injected eager-payload loss (fault plans)
 	KindNote      Kind = "note"       // degradation note (e.g. HAN flat fallback)
+	KindCrash     Kind = "crash"      // injected permanent rank failure (crash plans)
 )
 
 // AllKinds lists every event kind the recorder can emit, in a fixed
@@ -47,7 +48,7 @@ const (
 func AllKinds() []Kind {
 	return []Kind{
 		KindSend, KindDeliver, KindCollBegin, KindCollEnd,
-		KindTaskBegin, KindTaskEnd, KindDrop, KindNote,
+		KindTaskBegin, KindTaskEnd, KindDrop, KindNote, KindCrash,
 	}
 }
 
