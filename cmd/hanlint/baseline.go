@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"github.com/hanrepro/han/internal/lint"
+)
+
+// baselineName is the checked-in ratchet file at the module root.
+const baselineName = ".hanlint-baseline.json"
+
+// baselineEntry is one accepted pre-existing finding class. Messages are
+// stored with position suffixes normalized away so line-number churn does
+// not invalidate the baseline; count is the number of identical findings
+// accepted, and the ratchet reports when the tree has FEWER than count
+// (the entry must then be shrunk — the debt only burns down).
+type baselineEntry struct {
+	Pass    string `json:"pass"`
+	File    string `json:"file"` // module-root-relative, forward slashes
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+type baselineFile struct {
+	// Comment documents the ratchet contract inside the JSON itself.
+	Comment string          `json:"comment,omitempty"`
+	Entries []baselineEntry `json:"entries"`
+}
+
+// posRe matches the file:line(:col) position fragments embedded in
+// diagnostic messages (e.g. "time.Now (search.go:142)").
+var posRe = regexp.MustCompile(`\.go:\d+(:\d+)?`)
+
+func normalizeMessage(msg string) string {
+	return posRe.ReplaceAllString(msg, ".go")
+}
+
+func baselineKey(pass, relFile, msg string) string {
+	return pass + "\x00" + relFile + "\x00" + normalizeMessage(msg)
+}
+
+// loadBaseline reads the baseline at root, keyed for matching. A missing
+// file is an empty baseline.
+func loadBaseline(root string) (map[string]*baselineEntry, error) {
+	data, err := os.ReadFile(filepath.Join(root, baselineName))
+	if os.IsNotExist(err) {
+		return map[string]*baselineEntry{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", baselineName, err)
+	}
+	out := make(map[string]*baselineEntry, len(bf.Entries))
+	for i := range bf.Entries {
+		e := bf.Entries[i]
+		out[baselineKey(e.Pass, e.File, e.Message)] = &bf.Entries[i]
+	}
+	return out, nil
+}
+
+// relFile renders a diagnostic's filename relative to the module root in
+// slash form; paths outside the root pass through unchanged.
+func relFile(root, filename string) string {
+	if root == "" {
+		return filepath.ToSlash(filename)
+	}
+	abs := filename
+	if !filepath.IsAbs(abs) {
+		if wd, err := os.Getwd(); err == nil {
+			abs = filepath.Join(wd, abs)
+		}
+	}
+	if rel, err := filepath.Rel(root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// applyBaseline drops baselined diagnostics, decrementing entry counts.
+// With ratchet true (standalone mode, where whole packages were analyzed
+// in one process), entries left with a positive count are reported as
+// synthetic "baseline" findings: the accepted debt shrank, so the file
+// must be regenerated smaller (-write-baseline) — it never grows back.
+// covered, when non-nil, limits ratchet reports to entries whose file
+// lives in an analyzed package directory (module-root-relative); a run
+// over a subtree must not declare entries it never looked at stale.
+func applyBaseline(diags []lint.Diagnostic, entries map[string]*baselineEntry, root string, ratchet bool, covered map[string]bool) []lint.Diagnostic {
+	if len(entries) == 0 {
+		return diags
+	}
+	remaining := make(map[string]int, len(entries))
+	for k, e := range entries {
+		remaining[k] = e.Count
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		k := baselineKey(d.Pass, relFile(root, d.Pos.Filename), d.Message)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	if !ratchet {
+		return kept
+	}
+	var stale []string
+	for k, n := range remaining {
+		if n <= 0 {
+			continue
+		}
+		if covered != nil && !covered[path.Dir(entries[k].File)] {
+			continue
+		}
+		stale = append(stale, k)
+	}
+	sort.Strings(stale)
+	for _, k := range stale {
+		e := entries[k]
+		kept = append(kept, lint.Diagnostic{
+			Pass: "baseline",
+			Pos:  tokenPosition(filepath.Join(root, baselineName)),
+			Message: fmt.Sprintf(
+				"baseline overcounts %s findings in %s (%q): %d accepted, fewer remain; "+
+					"regenerate with -write-baseline so the debt ratchets down",
+				e.Pass, e.File, e.Message, e.Count),
+		})
+	}
+	return kept
+}
+
+// writeBaseline regenerates the ratchet file from the current findings.
+func writeBaseline(diags []lint.Diagnostic, root string) error {
+	counts := map[string]*baselineEntry{}
+	for _, d := range diags {
+		if d.Pass == "baseline" {
+			continue
+		}
+		rel := relFile(root, d.Pos.Filename)
+		k := baselineKey(d.Pass, rel, d.Message)
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &baselineEntry{
+			Pass: d.Pass, File: rel, Message: normalizeMessage(d.Message), Count: 1,
+		}
+	}
+	entries := make([]baselineEntry, 0, len(counts))
+	for _, e := range counts {
+		entries = append(entries, *e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+	bf := baselineFile{
+		Comment: "hanlint ratchet: accepted pre-existing findings. Entries may only shrink; " +
+			"regenerate with `hanlint -write-baseline <patterns>` after burning debt down.",
+		Entries: entries,
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(root, baselineName), append(data, '\n'), 0o666)
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod, or returns "".
+func moduleRoot(dir string) string {
+	if !filepath.IsAbs(dir) {
+		if wd, err := os.Getwd(); err == nil {
+			dir = filepath.Join(wd, dir)
+		}
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}

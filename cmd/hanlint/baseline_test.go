@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hanrepro/han/internal/lint"
+)
+
+func diag(pass, file string, line int, msg string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Pass:    pass,
+		Pos:     token.Position{Filename: file, Line: line, Column: 1},
+		Message: msg,
+	}
+}
+
+func TestNormalizeMessage(t *testing.T) {
+	in := "nondeterministic value from time.Now (lib.go:7) flows into sim engine event time"
+	want := "nondeterministic value from time.Now (lib.go) flows into sim engine event time"
+	if got := normalizeMessage(in); got != want {
+		t.Errorf("normalizeMessage = %q, want %q", got, want)
+	}
+	if got := normalizeMessage("plain message"); got != "plain message" {
+		t.Errorf("normalizeMessage mangled a position-free message: %q", got)
+	}
+	if got := normalizeMessage("at a.go:12:3 and b.go:9"); got != "at a.go and b.go" {
+		t.Errorf("normalizeMessage = %q", got)
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline from findings, reloads it, and
+// checks it swallows the same findings — including when the embedded line
+// numbers have drifted.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module x\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	d1 := diag("worldrand", filepath.Join(root, "a", "a.go"), 10, "rand.New constructs an RNG outside internal/mpi")
+	d2 := diag("detflow", filepath.Join(root, "b", "b.go"), 5, "value from time.Now (lib.go:7) flows into sink")
+	if err := writeBaseline([]lint.Diagnostic{d1, d2}, root); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := loadBaseline(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(entries))
+	}
+
+	// Same findings at drifted positions are still baselined.
+	d1.Pos.Line = 99
+	d2.Message = "value from time.Now (lib.go:123) flows into sink"
+	if kept := applyBaseline([]lint.Diagnostic{d1, d2}, entries, root, false, nil); len(kept) != 0 {
+		t.Errorf("baseline failed to swallow drifted findings: %v", kept)
+	}
+
+	// A finding the baseline does not know is kept.
+	entries, _ = loadBaseline(root)
+	d3 := diag("simtime", filepath.Join(root, "c.go"), 1, "wall-clock time.Now in simulation code")
+	if kept := applyBaseline([]lint.Diagnostic{d1, d2, d3}, entries, root, false, nil); len(kept) != 1 || kept[0].Pass != "simtime" {
+		t.Errorf("applyBaseline kept %v, want just the simtime finding", kept)
+	}
+}
+
+// TestBaselineRatchet checks the one-way contract: when accepted debt
+// disappears from the tree, a ratcheting run reports the overcounting
+// entry instead of silently letting it linger.
+func TestBaselineRatchet(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module x\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	d := diag("worldrand", filepath.Join(root, "a.go"), 3, "rand.New constructs an RNG outside internal/mpi")
+	if err := writeBaseline([]lint.Diagnostic{d, d}, root); err != nil { // count 2
+		t.Fatal(err)
+	}
+	entries, err := loadBaseline(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := applyBaseline([]lint.Diagnostic{d}, entries, root, true, nil) // only 1 remains
+	if len(kept) != 1 || kept[0].Pass != "baseline" {
+		t.Fatalf("ratchet produced %v, want one synthetic baseline finding", kept)
+	}
+	if !strings.Contains(kept[0].Message, "regenerate with -write-baseline") {
+		t.Errorf("ratchet message lacks the remedy: %q", kept[0].Message)
+	}
+	// Without ratcheting (per-unit vet mode) the stale entry is silent.
+	entries, _ = loadBaseline(root)
+	if kept := applyBaseline([]lint.Diagnostic{d}, entries, root, false, nil); len(kept) != 0 {
+		t.Errorf("non-ratchet run reported %v, want nothing", kept)
+	}
+	// A ratcheting run scoped to packages that do not include the entry's
+	// directory must not declare it stale — it never looked there.
+	entries, _ = loadBaseline(root)
+	if kept := applyBaseline(nil, entries, root, true, map[string]bool{"other": true}); len(kept) != 0 {
+		t.Errorf("out-of-scope ratchet reported %v, want nothing", kept)
+	}
+	// ...while a run that does cover the directory reports it. The entry
+	// file "a.go" sits at the module root, dir ".".
+	entries, _ = loadBaseline(root)
+	if kept := applyBaseline(nil, entries, root, true, map[string]bool{".": true}); len(kept) != 1 {
+		t.Errorf("in-scope ratchet reported %v, want one stale entry", kept)
+	}
+}
+
+// TestSARIFShape unmarshals a written log and checks the fields code
+// scanning ingests: version, driver name, rule IDs for every pass, and
+// one physical location per result. An empty run must still be valid.
+func TestSARIFShape(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "lint.sarif")
+	d := diag("detflow", filepath.Join(root, "x.go"), 7, "nondeterministic value flows into sink")
+	if err := writeSARIF(path, []lint.Diagnostic{d}, root); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF does not round-trip: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q with %d runs, want 2.1.0 with 1", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "hanlint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	rules := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, a := range lint.All() {
+		if !rules[a.Name] {
+			t.Errorf("no SARIF rule for pass %q", a.Name)
+		}
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("%d results, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "detflow" || res.Locations[0].PhysicalLocation.ArtifactLocation.URI != "x.go" {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Locations[0].PhysicalLocation.Region.StartLine != 7 {
+		t.Errorf("start line = %d, want 7", res.Locations[0].PhysicalLocation.Region.StartLine)
+	}
+
+	// Empty diagnostics still produce a parseable log with a results array.
+	if err := writeSARIF(path, nil, root); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Runs[0].Results == nil {
+		t.Error("empty run serialized results as null, want []")
+	}
+}

@@ -3,15 +3,23 @@
 //
 //   - Standalone: `hanlint ./internal/...` resolves the patterns with `go
 //     list`, type-checks each package from source, and prints violations.
-//     It must run from inside the repository (module resolution is rooted
-//     at the working directory).
+//     Module-local dependencies are analyzed first so interprocedural
+//     passes (detflow, metriclabel) see whole-program facts. It must run
+//     from inside the repository (module resolution is rooted at the
+//     working directory).
 //
 //   - Vet tool: `go vet -vettool=$(command -v hanlint) ./...` — the go
 //     command invokes hanlint once per package with a *.cfg file
 //     describing the unit (the x/tools "unitchecker" protocol, implemented
 //     here against the standard library). hanlint answers the -V=full and
 //     -flags probes, type-checks the unit against the export data the go
-//     command already built, and reports findings in vet's format.
+//     command already built, threads interprocedural facts through the
+//     protocol's .vetx files, and reports findings in vet's format.
+//
+// Findings accepted as pre-existing debt live in .hanlint-baseline.json
+// at the module root; the file is a ratchet (regenerate it only smaller,
+// with -write-baseline). -json and -sarif render machine-readable output;
+// -allows prints the //hanlint:allow inventory.
 //
 // Exit status: 0 clean, 1 operational error, 2 violations found.
 package main
@@ -31,8 +39,10 @@ func main() {
 		switch os.Args[1] {
 		case "-V=full", "--V=full":
 			// Stable one-line version string; the go command folds it into
-			// the build cache key for vet results.
-			fmt.Println("hanlint version devel buildID=hanlint-v1")
+			// the build cache key for vet results. Bump the buildID when
+			// analyzer semantics change so stale cached verdicts (and
+			// factless .vetx files from older binaries) are invalidated.
+			fmt.Println("hanlint version devel buildID=hanlint-v3")
 			return
 		case "-flags", "--flags":
 			// No tool-specific flags are exposed through go vet.
@@ -43,19 +53,24 @@ func main() {
 
 	only := flag.String("only", "", "comma-separated subset of passes to run")
 	list := flag.Bool("list", false, "list the available passes and exit")
+	jsonOut := flag.Bool("json", false, "print diagnostics as JSON on stdout")
+	sarifOut := flag.String("sarif", "", "write a SARIF 2.1.0 log to this file (written even when clean)")
+	noBaseline := flag.Bool("no-baseline", false, "ignore .hanlint-baseline.json and report everything")
+	writeBase := flag.Bool("write-baseline", false, "regenerate .hanlint-baseline.json from current findings and exit (run over the full lint tree: entries for packages outside the patterns are dropped)")
+	allows := flag.Bool("allows", false, "list every //hanlint:allow annotation (file:line, pass, reason) and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hanlint [-only pass,pass] packages...\n")
+		fmt.Fprintf(os.Stderr, "usage: hanlint [-only pass,pass] [-json] [-sarif file] [-write-baseline] [-allows] packages...\n")
 		fmt.Fprintf(os.Stderr, "       go vet -vettool=$(command -v hanlint) packages...\n\n")
 		fmt.Fprintf(os.Stderr, "passes:\n")
 		for _, a := range lint.All() {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -76,14 +91,64 @@ func main() {
 	// tool, one package unit per invocation.
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		diags, err := runUnit(args[0], analyzers)
-		exit(diags, err)
+		exitPlain(diags, err)
 	}
 
-	diags, err := runStandalone(args, analyzers)
-	exit(diags, err)
+	if *allows {
+		if err := runAllows(args); err != nil {
+			fmt.Fprintln(os.Stderr, "hanlint:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	diags, targetDirs, err := runStandalone(args, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hanlint:", err)
+		os.Exit(1)
+	}
+	root := moduleRoot(".")
+
+	if *writeBase {
+		if err := writeBaseline(diags, root); err != nil {
+			fmt.Fprintln(os.Stderr, "hanlint:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hanlint: baseline regenerated with %d finding(s)\n", len(diags))
+		return
+	}
+	if !*noBaseline {
+		entries, err := loadBaseline(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanlint:", err)
+			os.Exit(1)
+		}
+		covered := make(map[string]bool, len(targetDirs))
+		for _, dir := range targetDirs {
+			covered[relFile(root, dir)] = true
+		}
+		diags = applyBaseline(diags, entries, root, true, covered)
+	}
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, diags, root); err != nil {
+			fmt.Fprintln(os.Stderr, "hanlint:", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		if err := printJSON(diags, root); err != nil {
+			fmt.Fprintln(os.Stderr, "hanlint:", err)
+			os.Exit(1)
+		}
+		if len(diags) > 0 {
+			os.Exit(2)
+		}
+		return
+	}
+	exitPlain(diags, nil)
 }
 
-func exit(diags []lint.Diagnostic, err error) {
+func exitPlain(diags []lint.Diagnostic, err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hanlint:", err)
 		os.Exit(1)

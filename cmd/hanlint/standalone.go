@@ -4,35 +4,145 @@ import (
 	"bytes"
 	"fmt"
 	"os/exec"
+	"sort"
 	"strings"
 
 	"github.com/hanrepro/han/internal/lint"
 )
 
-// runStandalone resolves go-list patterns to (import path, dir) pairs and
-// analyzes each package from source.
-func runStandalone(patterns []string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
-	cmd := exec.Command("go", append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}"}, patterns...)...)
+// listedPkg is one `go list` row.
+type listedPkg struct {
+	path    string
+	dir     string
+	module  bool // inside a module (not GOROOT)
+	imports []string
+}
+
+// listPackages resolves patterns. With deps true it includes the
+// packages' transitive dependencies; `go list -deps` emits them in
+// dependency order (dependencies before dependents), which is exactly
+// the order the facts layer needs.
+func listPackages(patterns []string, deps bool) ([]listedPkg, error) {
+	args := []string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}\t{{if .Module}}1{{else}}0{{end}}\t{{range .Imports}}{{.}} {{end}}"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	cmd := exec.Command("go", append(args, patterns...)...)
 	var out, errb bytes.Buffer
 	cmd.Stdout, cmd.Stderr = &out, &errb
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
 	}
-	loader := lint.NewLoader()
-	var diags []lint.Diagnostic
+	var pkgs []listedPkg
 	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
 		if line == "" {
 			continue
 		}
-		path, dir, ok := strings.Cut(line, "\t")
-		if !ok {
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) < 3 {
 			return nil, fmt.Errorf("unexpected go list output %q", line)
 		}
-		pkg, err := loader.Load(path, dir)
-		if err != nil {
-			return nil, err
+		p := listedPkg{path: parts[0], dir: parts[1], module: parts[2] == "1"}
+		if len(parts) == 4 {
+			p.imports = strings.Fields(parts[3])
 		}
-		diags = append(diags, lint.RunAnalyzers(pkg, analyzers)...)
+		pkgs = append(pkgs, p)
 	}
-	return diags, nil
+	return pkgs, nil
+}
+
+// runStandalone analyzes the packages matching patterns from source.
+// Module-local dependencies outside the patterns are analyzed too — for
+// their facts only, so interprocedural passes see the whole program —
+// but diagnostics are reported only for the pattern-matched packages.
+// The second result is the set of target package directories (absolute),
+// which scopes the baseline ratchet to what was actually analyzed.
+func runStandalone(patterns []string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, []string, error) {
+	targets, err := listPackages(patterns, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	targetSet := make(map[string]bool, len(targets))
+	var targetDirs []string
+	for _, p := range targets {
+		targetSet[p.path] = true
+		targetDirs = append(targetDirs, p.dir)
+	}
+	all, err := listPackages(patterns, true)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	loader := lint.NewLoader()
+	factsByPath := make(map[string]lint.Facts)
+	var diags []lint.Diagnostic
+	for _, p := range all {
+		if !p.module {
+			continue // stdlib: intrinsic models cover it
+		}
+		pkg, err := loader.Load(p.path, p.dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		deps := make(map[string]lint.Facts)
+		for _, imp := range p.imports {
+			if f, ok := factsByPath[imp]; ok {
+				deps[imp] = f
+			}
+		}
+		ds, facts := lint.RunAnalyzersFacts(pkg, analyzers, deps)
+		factsByPath[p.path] = facts
+		if targetSet[p.path] {
+			diags = append(diags, ds...)
+		}
+	}
+	return diags, targetDirs, nil
+}
+
+// runAllows prints every //hanlint:allow annotation in the matched
+// packages — the reviewed-debt inventory — as file:line, pass, reason.
+func runAllows(patterns []string) error {
+	targets, err := listPackages(patterns, false)
+	if err != nil {
+		return err
+	}
+	targetSet := make(map[string]bool, len(targets))
+	for _, p := range targets {
+		targetSet[p.path] = true
+	}
+	// Load in dependency order (like runStandalone) so every module-local
+	// import is served from the loader's cache; mixing cached packages
+	// with the fallback source importer's own instances breaks type
+	// identity.
+	all, err := listPackages(patterns, true)
+	if err != nil {
+		return err
+	}
+	root := moduleRoot(".")
+	loader := lint.NewLoader()
+	var rows []lint.Allow
+	for _, p := range all {
+		if !p.module {
+			continue
+		}
+		pkg, err := loader.Load(p.path, p.dir)
+		if err != nil {
+			return err
+		}
+		if targetSet[p.path] {
+			rows = append(rows, lint.AllowAnnotations(pkg)...)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].Pos, rows[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, al := range rows {
+		fmt.Printf("%s:%d\t%s\t%s\n", relFile(root, al.Pos.Filename), al.Pos.Line, al.Pass, al.Reason)
+	}
+	fmt.Printf("# %d allow annotation(s)\n", len(rows))
+	return nil
 }

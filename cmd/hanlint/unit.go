@@ -29,12 +29,20 @@ type unitConfig struct {
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
 	Standard                  map[string]bool
+	PackageVetx               map[string]string // dep import path -> .vetx facts file
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
 // runUnit analyzes one package unit on behalf of `go vet -vettool=`.
+//
+// Facts ride the protocol's .vetx files: PackageVetx names the files the
+// dependencies wrote, VetxOutput is where this unit's facts go. Units
+// visited only for their facts (VetxOnly) are still fully analyzed —
+// dependents need their summaries — but report nothing. Standard-library
+// units write empty facts: detflow's intrinsic source/sink tables model
+// the stdlib, so type-checking it here would be pure cost.
 func runUnit(cfgFile string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -44,15 +52,9 @@ func runUnit(cfgFile string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, err
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("parsing vet config %s: %w", cfgFile, err)
 	}
-	// The go command expects a facts file regardless of findings; hanlint
-	// keeps no cross-package facts, so an empty one satisfies the cache.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.VetxOnly {
-		return nil, nil
+	isStd := cfg.Standard[cfg.ImportPath] || !strings.Contains(firstPathElem(cfg.ImportPath), ".")
+	if isStd {
+		return nil, writeFacts(cfg.VetxOutput, lint.Facts{})
 	}
 
 	fset := token.NewFileSet()
@@ -61,7 +63,7 @@ func runUnit(cfgFile string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, err
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
+				return nil, writeFacts(cfg.VetxOutput, lint.Facts{})
 			}
 			return nil, err
 		}
@@ -102,10 +104,69 @@ func runUnit(cfgFile string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, err
 	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return nil, writeFacts(cfg.VetxOutput, lint.Facts{})
 		}
 		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
 	}
 	pkg := &lint.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
-	return lint.RunAnalyzers(pkg, analyzers), nil
+
+	deps := readDepFacts(cfg)
+	diags, facts := lint.RunAnalyzersFacts(pkg, analyzers, deps)
+	if err := writeFacts(cfg.VetxOutput, facts); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	// The baseline lives at the enclosing module root; per-unit filtering
+	// cannot ratchet (no unit sees the whole tree), so stale entries are
+	// only reported by standalone runs.
+	if root := moduleRoot(cfg.Dir); root != "" {
+		entries, err := loadBaseline(root)
+		if err != nil {
+			return nil, err
+		}
+		diags = applyBaseline(diags, entries, root, false, nil)
+	}
+	return diags, nil
+}
+
+// readDepFacts decodes the dependencies' .vetx files. Absent or
+// malformed files degrade to no facts — the analyzers' intrinsic models
+// still apply.
+func readDepFacts(cfg unitConfig) map[string]lint.Facts {
+	deps := make(map[string]lint.Facts, len(cfg.PackageVetx))
+	for path, file := range cfg.PackageVetx {
+		blob, err := os.ReadFile(file)
+		if err != nil || len(blob) == 0 {
+			continue
+		}
+		var f lint.Facts
+		if json.Unmarshal(blob, &f) != nil {
+			continue
+		}
+		deps[path] = f
+	}
+	return deps
+}
+
+// writeFacts serializes a unit's facts to its VetxOutput. The go command
+// demands the file exist even when empty.
+func writeFacts(path string, facts lint.Facts) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.Marshal(facts)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}
+
+func firstPathElem(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
 }

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildHanlint compiles the hanlint binary into a temp dir so the tests
+// can hand it to `go vet -vettool=`.
+func buildHanlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hanlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building hanlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway single-package module (no deps beyond
+// the standard library, so no network) and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func goVet(t *testing.T, dir, bin string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestVettoolReportsTestFiles proves the unitchecker protocol analyzes
+// _test.go files: go vet hands hanlint the test variant of the package,
+// and simtime/worldrand diagnostics anchored in the test file come back
+// through vet's exit status and output.
+func TestVettoolReportsTestFiles(t *testing.T) {
+	bin := buildHanlint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module example.com/vfix\n\ngo 1.22\n",
+		"vfix.go": "// Package vfix is a vet-protocol fixture.\npackage vfix\n",
+		"vfix_test.go": `package vfix
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestViolations(t *testing.T) {
+	if time.Now().IsZero() {
+		t.Fatal("unreachable")
+	}
+	if rand.Intn(2) > 1 {
+		t.Fatal("unreachable")
+	}
+}
+`,
+	})
+
+	out, err := goVet(t, dir, bin)
+	if err == nil {
+		t.Fatalf("go vet succeeded; want findings in the _test.go file\n%s", out)
+	}
+	for _, want := range []string{
+		"vfix_test.go:10:", // the time.Now call
+		"simtime: wall-clock time.Now",
+		"vfix_test.go:13:", // the rand.Intn call
+		"worldrand: rand.Intn draws from the process-global source",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("go vet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVettoolCleanModule is the control: a module whose test file plays
+// by the rules vets clean, so the failures above are the diagnostics and
+// not protocol breakage.
+func TestVettoolCleanModule(t *testing.T) {
+	bin := buildHanlint(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module example.com/vclean\n\ngo 1.22\n",
+		"clean.go": "// Package vclean is a vet-protocol fixture.\npackage vclean\n\n// Double doubles.\nfunc Double(x int) int { return 2 * x }\n",
+		"clean_test.go": `package vclean
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDouble(t *testing.T) {
+	// Constructed, seeded RNGs are fine in tests; only the global
+	// source and wall clocks are not.
+	rng := rand.New(rand.NewSource(1))
+	if Double(rng.Intn(3)) > 6 {
+		t.Fatal("unreachable")
+	}
+}
+`,
+	})
+
+	if out, err := goVet(t, dir, bin); err != nil {
+		t.Fatalf("go vet on clean module failed: %v\n%s", err, out)
+	}
+}

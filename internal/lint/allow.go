@@ -35,6 +35,26 @@ func (s *allowSet) match(d Diagnostic) *allowMark {
 
 const allowPrefix = "hanlint:allow"
 
+// Allow is one well-formed //hanlint:allow annotation, exported for the
+// `hanlint -allows` inventory listing.
+type Allow struct {
+	Pass   string
+	Reason string
+	Pos    token.Position
+}
+
+// AllowAnnotations returns the package's well-formed allow annotations
+// in file order. Malformed annotations are omitted — they surface as
+// diagnostics on a normal lint run instead.
+func AllowAnnotations(pkg *Package) []Allow {
+	set, _ := collectAllows(pkg, All())
+	out := make([]Allow, 0, len(set.all))
+	for _, al := range set.all {
+		out = append(out, Allow{Pass: al.pass, Reason: al.reason, Pos: al.pos})
+	}
+	return out
+}
+
 // collectAllows parses every //hanlint:allow annotation in the package.
 // Malformed annotations (missing pass, unknown pass, or missing reason)
 // are returned as diagnostics so they cannot silently suppress anything.

@@ -35,9 +35,22 @@ type Analyzer struct {
 	// AppliesTo reports whether the pass runs on the package with the
 	// given import path. A nil AppliesTo means the pass runs everywhere.
 	AppliesTo func(pkgPath string) bool
+	// UsesFacts marks an interprocedural pass: its Run consumes the facts
+	// its dependencies exported (Pass.DepFacts) and exports this package's
+	// own facts (Pass.ExportFact). Drivers must run fact passes over
+	// dependency packages first — the standalone driver topo-sorts the
+	// package set, and the vet-tool driver rides the go command's
+	// dependency-ordered .vetx files.
+	UsesFacts bool
 	// Run inspects one type-checked package and reports violations.
 	Run func(*Pass)
 }
+
+// Facts is one package's serialized interprocedural output, keyed by
+// analyzer name. The blobs are opaque to the driver layer (detflow uses
+// JSON-encoded function summaries); they ride in the .vetx files of the
+// go vet unitchecker protocol and in-memory in standalone mode.
+type Facts map[string][]byte
 
 // Pass carries one type-checked package through one analyzer.
 type Pass struct {
@@ -47,8 +60,39 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// DepFacts holds the facts exported by already-analyzed dependencies,
+	// keyed by import path. Missing entries (stdlib, packages outside the
+	// analyzed set) are normal; fact passes must degrade gracefully to
+	// their intrinsic models.
+	DepFacts map[string]Facts
+
+	// Cache lets the analyzers of one RunAnalyzers invocation share
+	// expensive computed state (the detflow taint analysis is consumed by
+	// both the detflow and floatorder passes).
+	Cache *Cache
+
 	diags *[]Diagnostic
+	facts Facts
 }
+
+// ExportFact records this package's serialized facts for the running
+// analyzer, to be offered as DepFacts to dependents.
+func (p *Pass) ExportFact(blob []byte) {
+	p.facts[p.Analyzer.Name] = blob
+}
+
+// Cache is a string-keyed scratch space shared by the analyzers of one
+// RunAnalyzers call.
+type Cache struct{ m map[string]interface{} }
+
+// Get returns the cached value under key, if any.
+func (c *Cache) Get(key string) (interface{}, bool) {
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put stores v under key.
+func (c *Cache) Put(key string, v interface{}) { c.m[key] = v }
 
 // Reportf records a violation at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
@@ -80,6 +124,10 @@ func All() []*Analyzer {
 		TypederrAnalyzer,
 		EngineboundAnalyzer,
 		ArenaallocAnalyzer,
+		DetflowAnalyzer,
+		EpochsafeAnalyzer,
+		MetriclabelAnalyzer,
+		FloatorderAnalyzer,
 	}
 }
 
@@ -96,11 +144,26 @@ func ByName(name string) *Analyzer {
 // RunAnalyzers runs the given analyzers over one loaded package, applies
 // the //hanlint:allow annotations, and returns the surviving diagnostics
 // sorted by position. Stale or malformed annotations are returned as
-// diagnostics of the synthetic pass "allow".
+// diagnostics of the synthetic pass "allow". Interprocedural passes run
+// without dependency facts; use RunAnalyzersFacts to thread them.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAnalyzersFacts(pkg, analyzers, nil)
+	return diags
+}
+
+// RunAnalyzersFacts is RunAnalyzers with the interprocedural facts layer:
+// deps maps each dependency import path to the facts its own analysis
+// exported, and the returned Facts carry this package's exports for its
+// dependents.
+func RunAnalyzersFacts(pkg *Package, analyzers []*Analyzer, deps map[string]Facts) ([]Diagnostic, Facts) {
 	var raw []Diagnostic
+	out := make(Facts)
+	cache := &Cache{m: make(map[string]interface{})}
 	for _, a := range analyzers {
-		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+		// Fact passes run even where AppliesTo declines diagnostics: their
+		// summaries must exist for dependents. The pass itself checks
+		// AppliesTo before reporting.
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) && !a.UsesFacts {
 			continue
 		}
 		pass := &Pass{
@@ -109,7 +172,10 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			DepFacts:  deps,
+			Cache:     cache,
 			diags:     &raw,
+			facts:     out,
 		}
 		a.Run(pass)
 	}
@@ -153,5 +219,5 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		dedup = append(dedup, d)
 	}
-	return dedup
+	return dedup, out
 }

@@ -131,3 +131,51 @@ func TestTypederrScope(t *testing.T) {
 func TestArenaalloc(t *testing.T) {
 	linttest.Run(t, lint.ArenaallocAnalyzer, "arenaalloc")
 }
+
+// TestDetflow drives the taint engine end to end inside one package:
+// direct flows, 2- and 3-deep call chains, argument→result flows, sinks
+// inside callees, struct fields, exec-closure mutation, select arms, map
+// order with and without the sort cleanse, pointer-identity sorting, and
+// the seeded-RNG false-positive guard.
+func TestDetflow(t *testing.T) {
+	linttest.Run(t, lint.DetflowAnalyzer, "detflow", "internal/sim", "internal/exec")
+}
+
+// TestDetflowCrossPackage proves taint crosses package boundaries via
+// the facts layer: the source is two calls deep in a dependency, and the
+// full source→sink path is still reported at the consumer.
+func TestDetflowCrossPackage(t *testing.T) {
+	linttest.Run(t, lint.DetflowAnalyzer, "detflowx/use", "internal/sim", "detflowx/taintlib")
+}
+
+func TestEpochsafe(t *testing.T) {
+	linttest.Run(t, lint.EpochsafeAnalyzer, "epochsafe", "internal/mpi")
+}
+
+func TestMetriclabel(t *testing.T) {
+	linttest.Run(t, lint.MetriclabelAnalyzer, "metriclabel", "internal/metrics")
+}
+
+func TestFloatorder(t *testing.T) {
+	linttest.Run(t, lint.FloatorderAnalyzer, "floatorder")
+}
+
+// TestDetflowScope pins the executor exemption parity with simtime:
+// summaries are still computed there (UsesFacts), diagnostics are not
+// reported.
+func TestDetflowScope(t *testing.T) {
+	applies := lint.DetflowAnalyzer.AppliesTo
+	for path, want := range map[string]bool{
+		"github.com/hanrepro/han/internal/exec": false,
+		"internal/exec":                         false,
+		"github.com/hanrepro/han/internal/sim":  true,
+		"detflow":                               true,
+	} {
+		if got := applies(path); got != want {
+			t.Errorf("detflow.AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+	if !lint.DetflowAnalyzer.UsesFacts {
+		t.Error("detflow must be a facts pass: dependents need its summaries")
+	}
+}

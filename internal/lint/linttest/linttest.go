@@ -21,10 +21,12 @@ import (
 
 // wantMark locates the want directive inside a comment; it may trail
 // other directives on the same line (e.g. a //hanlint:allow under test).
-var wantMark = regexp.MustCompile(`(?:^|\s)want\s+"`)
+var wantMark = regexp.MustCompile("(?:^|\\s)want\\s+[\"`]")
 
-// wantRe matches one quoted expectation after the want directive.
-var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+// wantRe matches one quoted expectation after the want directive, in
+// either spelling: "..." (with \" escapes) or `...` (no escapes — the
+// friendlier form for patterns full of quotes and backslashes).
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 
 type expectation struct {
 	re      *regexp.Regexp
@@ -36,14 +38,31 @@ type expectation struct {
 // path doubles as the package's import path, so path-scoped rules like
 // worldrand's internal/mpi exemption are testable) and checks the
 // analyzer's diagnostics against the fixture's // want comments.
-func Run(t *testing.T, a *lint.Analyzer, fixture string) {
+//
+// Optional deps name fixture packages to load and analyze first, in
+// order: their exported facts are offered to the main fixture, and the
+// main fixture may import them (the loader serves already-loaded
+// packages by import path). Their own // want comments, if any, are not
+// checked — only the main fixture's are.
+func Run(t *testing.T, a *lint.Analyzer, fixture string, deps ...string) {
 	t.Helper()
+	loader := lint.NewLoader()
+	facts := make(map[string]lint.Facts)
+	for _, dep := range deps {
+		depDir := filepath.Join("testdata", "src", filepath.FromSlash(dep))
+		dpkg, err := loader.Load(dep, depDir)
+		if err != nil {
+			t.Fatalf("loading dep fixture %s: %v", dep, err)
+		}
+		_, f := lint.RunAnalyzersFacts(dpkg, []*lint.Analyzer{a}, facts)
+		facts[dep] = f
+	}
 	dir := filepath.Join("testdata", "src", filepath.FromSlash(fixture))
-	pkg, err := lint.NewLoader().Load(fixture, dir)
+	pkg, err := loader.Load(fixture, dir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
-	diags := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+	diags, _ := lint.RunAnalyzersFacts(pkg, []*lint.Analyzer{a}, facts)
 
 	wants := collectWants(t, pkg.Fset, dir)
 	for _, d := range diags {
@@ -120,12 +139,16 @@ func collectWants(t *testing.T, _ *token.FileSet, dir string) map[string][]*expe
 				}
 				pos := fset.Position(c.Pos())
 				for _, m := range wantRe.FindAllStringSubmatch(text[loc[0]:], -1) {
-					re, err := regexp.Compile(m[1])
+					raw := m[1]
+					if m[2] != "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
 					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
 					}
 					key := posKey(pos.Filename, pos.Line)
-					wants[key] = append(wants[key], &expectation{re: re, raw: m[1]})
+					wants[key] = append(wants[key], &expectation{re: re, raw: raw})
 				}
 			}
 		}

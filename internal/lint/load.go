@@ -28,15 +28,32 @@ type Package struct {
 // from source with the standard library's source importer, so it needs no
 // export data and no modules beyond the one rooted at the current working
 // directory — hanlint must run from inside the repository.
+//
+// Packages it has already loaded are cached and served to later loads by
+// import path, so a fixture package can import a sibling fixture (e.g.
+// the detflow cross-package fixtures importing testdata's mini
+// internal/sim) as long as the dependency is loaded first.
 type Loader struct {
-	fset *token.FileSet
-	imp  types.Importer
+	fset  *token.FileSet
+	imp   types.Importer
+	cache map[string]*types.Package
 }
 
 // NewLoader returns a Loader with a shared file set and import cache.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	l := &Loader{fset: fset, cache: make(map[string]*types.Package)}
+	l.imp = importer.ForCompiler(fset, "source", nil)
+	return l
+}
+
+// Import serves previously loaded packages by path, falling back to the
+// source importer. Loader satisfies types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p := l.cache[path]; p != nil {
+		return p, nil
+	}
+	return l.imp.Import(path)
 }
 
 // Load parses and type-checks the non-test Go files of the package in
@@ -97,10 +114,11 @@ func (l *Loader) load(path, dir string, tests bool) (*Package, error) {
 		Scopes:     make(map[ast.Node]*types.Scope),
 		Implicits:  make(map[ast.Node]types.Object),
 	}
-	conf := types.Config{Importer: l.imp}
+	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(path, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
+	l.cache[path] = tpkg
 	return &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, TypesInfo: info}, nil
 }

@@ -1,0 +1,151 @@
+// Fixture for the detflow taint analysis: nondeterminism sources must
+// not reach simulation-side sinks, across any number of call frames.
+// Clean counterparts pin the false-positive guards: seeded RNGs stay
+// clean even laundered through helpers, and the collect-then-sort idiom
+// cleanses order taint.
+package detflow
+
+import (
+	"internal/exec"
+	"internal/sim"
+	"math/rand"
+	"sort"
+	"time"
+	"unsafe"
+)
+
+func noop() {}
+
+// --- source helpers: 1, 2, and 3 frames above the source ---
+
+func nowStamp() int64 { return time.Now().UnixNano() }
+
+func wrap() int64 { return nowStamp() }
+
+func wrap2() int64 { return wrap() }
+
+// --- direct and call-chain flows into a sink ---
+
+func direct(e *sim.Engine) {
+	e.After(sim.Time(time.Now().UnixNano()), noop) // want `nondeterministic value from time\.Now .* flows into sim engine event time`
+}
+
+func deep2(e *sim.Engine) {
+	e.After(sim.Time(wrap()), noop) // want `time\.Now \(a\.go:\d+\) → detflow\.nowStamp → detflow\.wrap → \(Engine\)\.After`
+}
+
+func deep3(e *sim.Engine) {
+	e.After(sim.Time(wrap2()), noop) // want `detflow\.nowStamp → detflow\.wrap → detflow\.wrap2 → \(Engine\)\.After`
+}
+
+// --- taint through an argument→result flow ---
+
+func passthrough(x int64) int64 { return x }
+
+func flowed(e *sim.Engine) {
+	e.After(sim.Time(passthrough(time.Now().UnixNano())), noop) // want `time\.Now .* flows into sim engine event time`
+}
+
+// --- taint reaching the sink inside a callee (summary sink) ---
+
+func emitAt(e *sim.Engine, t int64) { e.After(sim.Time(t), noop) }
+
+func sinkInHelper(e *sim.Engine) {
+	emitAt(e, time.Now().UnixNano()) // want `time\.Now .* → detflow\.emitAt → \(Engine\)\.After`
+}
+
+// --- taint through a struct field (field-insensitive) ---
+
+type plan struct {
+	label string
+	at    int64
+}
+
+func mkPlan() plan { return plan{label: "p", at: nowStamp()} }
+
+func structField(e *sim.Engine) {
+	p := mkPlan()
+	e.After(sim.Time(p.at), noop) // want `flows into sim engine event time; path: time\.Now .* → detflow\.nowStamp → detflow\.mkPlan`
+}
+
+// --- shared mutation from an exec worker closure ---
+
+func execShared(e *sim.Engine, x *exec.Executor) {
+	var total int64
+	x.Run(4, func(j int) {
+		total += int64(j) * 3
+	})
+	e.After(sim.Time(total), noop) // want `unsynchronized shared mutation in exec worker closure`
+}
+
+// execIndexed is the sanctioned pattern: index-addressed slots, folded
+// after the barrier in canonical order. Stays clean.
+func execIndexed(e *sim.Engine, x *exec.Executor) {
+	slots := make([]int64, 4)
+	x.Run(4, func(j int) {
+		slots[j] = int64(j) * 3
+	})
+	var total int64
+	for _, v := range slots {
+		total += v
+	}
+	e.After(sim.Time(total), noop)
+}
+
+// --- unordered select arms ---
+
+func selectArm(e *sim.Engine, a, b chan int64) {
+	var v int64
+	select {
+	case v = <-a:
+	case v = <-b:
+	}
+	e.Schedule(sim.Time(v), noop) // want `nondeterministic value from unordered select arm` `nondeterministic value from unordered select arm`
+}
+
+// --- map iteration order escaping the loop ---
+
+func mapOrder(e *sim.Engine, m map[int]int64) {
+	var ts []int64
+	for _, v := range m {
+		ts = append(ts, v)
+	}
+	e.Schedule(sim.Time(ts[0]), noop) // want `nondeterministic ordering from map iteration order .* flows into sim engine event time`
+}
+
+// mapOrderSorted is the collect-then-sort idiom: the sort cleanses the
+// order taint. Stays clean.
+func mapOrderSorted(e *sim.Engine, m map[int]int64) {
+	var ts []int64
+	for _, v := range m {
+		ts = append(ts, v)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	e.Schedule(sim.Time(ts[0]), noop)
+}
+
+// --- pointer-identity sorting: the comparison IS the nondeterminism ---
+
+type node struct{ id int64 }
+
+func pidSort(e *sim.Engine, ns []*node) {
+	sort.Slice(ns, func(i, j int) bool {
+		return uintptr(unsafe.Pointer(ns[i])) < uintptr(unsafe.Pointer(ns[j]))
+	})
+	e.Schedule(sim.Time(ns[0].id), noop) // want `nondeterministic ordering from pointer-identity sort ordering`
+}
+
+// --- false-positive guard: a seeded RNG laundered through a helper ---
+
+func launder(r *rand.Rand) int64 { return r.Int63() }
+
+func seededClean(e *sim.Engine) {
+	r := rand.New(rand.NewSource(7))
+	e.After(sim.Time(launder(r)), noop)
+}
+
+// globalDirty is the counterpart: the process-global source is tainted
+// even through the same laundering shape.
+func globalDirty(e *sim.Engine) {
+	e.After(sim.Time(rand.Int63()), noop) // want `nondeterministic value from global rand\.Int63`
+}

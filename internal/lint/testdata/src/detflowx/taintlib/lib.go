@@ -1,0 +1,12 @@
+// Dependency half of the cross-package detflow fixture: the
+// nondeterminism source sits two calls below the exported entry point,
+// so a dependent package can only see it through the facts layer.
+package taintlib
+
+import "time"
+
+// Jitter returns a host-time-derived delay. Its taint must travel to
+// importers via the exported summary facts.
+func Jitter() int64 { return stamp() }
+
+func stamp() int64 { return time.Now().UnixNano() }

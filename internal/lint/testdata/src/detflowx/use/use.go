@@ -1,0 +1,13 @@
+// Consumer half of the cross-package detflow fixture: the source
+// (time.Now inside taintlib.stamp) is two calls away in another package,
+// and the sink call path must still be reported in full.
+package use
+
+import (
+	"detflowx/taintlib"
+	"internal/sim"
+)
+
+func schedule(e *sim.Engine) {
+	e.After(sim.Time(taintlib.Jitter()), func() {}) // want `time\.Now \(lib\.go:\d+\) → taintlib\.stamp → taintlib\.Jitter → \(Engine\)\.After`
+}

@@ -1,0 +1,59 @@
+// Fixture for the epochsafe pass: mpi.Comm handles and rank-set
+// snapshots obtained before World.Shrink are stale afterwards; the
+// sanctioned patterns (re-derive after the shrink, DeathEpoch guards,
+// using the Comm that Shrink itself returns) stay clean.
+package epochsafe
+
+import "internal/mpi"
+
+func staleComm(w *mpi.World) {
+	c := w.Comm()
+	dead := w.DeadRanks()
+	c.Bcast(0) // pre-shrink use is fine
+	w.Shrink()
+	c.Bcast(0) // want `mpi\.Comm "c" was obtained before World\.Shrink`
+	_ = dead   // want `rank set "dead" was obtained before World\.Shrink`
+}
+
+func staleParam(w *mpi.World, c *mpi.Comm) {
+	w.Shrink()
+	_ = c.Size() // want `mpi\.Comm "c" was obtained before World\.Shrink`
+}
+
+func rederived(w *mpi.World) {
+	c := w.Comm()
+	c.Bcast(0)
+	w.Shrink()
+	c = w.Comm() // rebinding after the shrink makes the handle current
+	c.Bcast(0)
+}
+
+func shrinkResult(w *mpi.World) {
+	c := w.Shrink() // the survivor comm is born in the new epoch
+	c.Bcast(0)
+}
+
+func closureIsItsOwnScope(w *mpi.World, run func(func())) {
+	c := w.Comm()
+	run(func() {
+		w.Shrink() // position does not order the closure against the outer body
+	})
+	c.Bcast(0) // clean: no shrink in this scope
+}
+
+func staleInsideClosure(w *mpi.World, run func(func())) {
+	run(func() {
+		c := w.Comm()
+		w.Shrink()
+		c.Bcast(0) // want `mpi\.Comm "c" was obtained before World\.Shrink`
+	})
+}
+
+func epochGuard(w *mpi.World) int {
+	epoch0 := w.DeathEpoch()
+	w.Shrink()
+	if w.DeathEpoch() != epoch0 { // ints are not epoch-bound handles
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,18 @@
+// Mini mirror of internal/exec for fixtures: detflow treats closures
+// handed to this package's functions as host-parallel workers, so
+// unsynchronized mutation of captured state inside them is a
+// nondeterminism source.
+package exec
+
+// Executor is the worker-pool stand-in.
+type Executor struct{ workers int }
+
+// New returns an executor with n workers.
+func New(n int) *Executor { return &Executor{workers: n} }
+
+// Run invokes fn(j) for j in [0, n), nominally in parallel.
+func (x *Executor) Run(n int, fn func(int)) {
+	for j := 0; j < n; j++ {
+		fn(j)
+	}
+}

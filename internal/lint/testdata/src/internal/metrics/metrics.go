@@ -1,0 +1,39 @@
+// Mini mirror of internal/metrics for fixtures: the metriclabel pass
+// keys on composite literals of this package's Opts type, and this
+// package's own stock registration exercises the cross-package facts
+// path (a dependent registering the same family with different label
+// keys must be flagged).
+package metrics
+
+// Opts names one metric series.
+type Opts struct {
+	Name   string
+	Help   string
+	Unit   string
+	Labels map[string]string
+}
+
+// Counter is a monotone counter handle.
+type Counter struct{ v float64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Registry holds metric families.
+type Registry struct{}
+
+// Counter registers (or fetches) a counter series.
+func (r *Registry) Counter(o Opts) *Counter { return &Counter{} }
+
+// Gauge registers a gauge series (handle elided in the mini mirror).
+func (r *Registry) Gauge(o Opts) *Counter { return &Counter{} }
+
+// Histogram registers a histogram series (handle elided).
+func (r *Registry) Histogram(o Opts) *Counter { return &Counter{} }
+
+// RegisterStock mirrors the stock instrumentation: exec_jobs is
+// registered here, label-free, so dependent packages inherit the
+// family's label contract through the facts layer.
+func RegisterStock(r *Registry) *Counter {
+	return r.Counter(Opts{Name: "exec_jobs", Help: "measurement jobs executed"})
+}

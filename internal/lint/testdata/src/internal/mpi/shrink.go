@@ -1,0 +1,25 @@
+// Epoch surface of the mini mpi mirror, used by the epochsafe fixtures:
+// Comm handles and rank-set snapshots are bound to the epoch they were
+// obtained in; World.Shrink advances the epoch.
+package mpi
+
+// Comm is a communicator over the current epoch's survivors.
+type Comm struct{ size int }
+
+// Size returns the communicator's rank count.
+func (c *Comm) Size() int { return c.size }
+
+// Bcast broadcasts from root within the communicator.
+func (c *Comm) Bcast(root int) {}
+
+// Comm returns the world's current-epoch communicator.
+func (w *World) Comm() *Comm { return &Comm{} }
+
+// Shrink advances to the survivor epoch and returns its communicator.
+func (w *World) Shrink() *Comm { return &Comm{} }
+
+// DeathEpoch counts failures observed so far.
+func (w *World) DeathEpoch() int { return 0 }
+
+// DeadRanks snapshots the ranks dead in the current epoch.
+func (w *World) DeadRanks() []int { return nil }

@@ -1,0 +1,19 @@
+// Mini mirror of internal/sim for fixtures: just enough surface for
+// detflow's sink table (any function or method of a package whose path
+// ends in internal/sim is a sink) and for fixture packages to import.
+package sim
+
+// Time is virtual time in integer ticks.
+type Time int64
+
+// Engine is the event-loop stand-in.
+type Engine struct{ now Time }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// After schedules fn after a delay.
+func (e *Engine) After(d Time, fn func()) {}
+
+// Schedule schedules fn at an absolute time.
+func (e *Engine) Schedule(t Time, fn func()) {}

@@ -1,0 +1,27 @@
+// Fixture for the metriclabel pass: one label-key set per family
+// program-wide (including families registered by dependencies, seen
+// through the facts layer), and mpi_*/han_*/exec_* families must appear
+// in docs/OBSERVABILITY.md.
+package metriclabel
+
+import "internal/metrics"
+
+func register(r *metrics.Registry) {
+	// Documented family, consistent label keys: clean.
+	r.Counter(metrics.Opts{Name: "mpi_messages", Labels: map[string]string{"protocol": "eager"}})
+	r.Counter(metrics.Opts{Name: "mpi_messages", Labels: map[string]string{"protocol": "rendezvous"}})
+
+	// Same family, different label keys.
+	r.Counter(metrics.Opts{Name: "mpi_messages", Labels: map[string]string{"proto": "eager"}}) // want `metric "mpi_messages" registered with label keys \[proto\] but already registered with \[protocol\]`
+
+	// Conflict with a family registered by a dependency (exec_jobs is
+	// label-free in the metrics package's stock instrumentation).
+	r.Gauge(metrics.Opts{Name: "exec_jobs", Labels: map[string]string{"pool": "a"}}) // want `metric "exec_jobs" registered with label keys \[pool\] but already registered with \[\]`
+
+	// Owned namespace, not in docs/OBSERVABILITY.md.
+	r.Histogram(metrics.Opts{Name: "mpi_fixture_only_seconds", Unit: "seconds"}) // want `metric "mpi_fixture_only_seconds" is not documented in docs/OBSERVABILITY\.md`
+
+	// Outside the owned namespaces: the documentation contract does not
+	// apply.
+	r.Counter(metrics.Opts{Name: "fixture_scratch_total"})
+}
