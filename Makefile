@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint ci bench bench-alloc bench-search chaos chaos-soak fuzz docs
+.PHONY: build test race vet lint ci bench bench-alloc bench-search bench-parallel chaos chaos-soak fuzz docs
 
 build:
 	$(GO) build ./...
@@ -103,6 +103,14 @@ bench-alloc:
 # multi-core machine.
 bench-search:
 	$(GO) test -run xxx -bench RunSearch -benchtime 2x -benchmem ./internal/autotune/
+
+# Parallel-engine benchmark: the partitioned 4096-rank broadcast on the
+# windowed engine (workers 1/2/8) vs the shared-engine serial oracle.
+# sim-us/op must be identical in every cell; wall-clock is the variable.
+# Compare against BENCH_parallel_sim.json; regenerate that baseline from
+# this output on a multi-core machine.
+bench-parallel:
+	$(GO) test -run xxx -bench 'ParallelSim4096' -benchtime 3x -benchmem .
 
 # Trimmed paper-scale wall-clock benchmark (4096 ranks); compare against
 # BENCH_allocator.json.

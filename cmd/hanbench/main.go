@@ -38,6 +38,8 @@ func main() {
 	refAlloc := flag.Bool("refalloc", false, "use the from-scratch reference rate allocator instead of the incremental one (A/B debugging; results are bit-identical, only wall-clock differs)")
 	refPool := flag.Bool("refpool", false, "disable arena pooling of flows and P2P records (A/B debugging; results are bit-identical, only wall-clock and allocation volume differ)")
 	scaleTier := flag.Bool("scale", false, "run the payload-free phantom scale tier instead of the IMB sweep: one HAN broadcast of the first size, no barriers, with memory accounting (use -nodes/-ppn to set the world; default 3072x32 = 98304 ranks)")
+	groups := flag.Int("groups", 0, "partition the -scale run into this many node groups for the parallel engine (must divide the node count; 0 = unpartitioned serial scale tier)")
+	parallelSim := flag.String("parallel-sim", "oracle", "engine for the partitioned -scale run: 'oracle' (all partitions on one shared serial engine, the bit-identical reference) or a host worker count for the windowed parallel engine (0 = GOMAXPROCS); sim results are identical for every value")
 	faultsFlag := flag.String("faults", "", "fault plan to inject: a built-in name ("+strings.Join(fault.BuiltinNames(), ", ")+") or @path.json to load a plan from disk")
 	seed := flag.Int64("seed", 0, "RNG seed for jitter and fault draws (0 = library default); the (seed, faults) pair fully determines the run")
 	metricsOut := flag.String("metrics", "", "write an OpenMetrics text export of the sweep's runtime counters to this file (docs/OBSERVABILITY.md)")
@@ -85,6 +87,22 @@ func main() {
 		}
 	}
 
+	var faultPlan *fault.Plan
+	if *faultsFlag != "" {
+		var plan fault.Plan
+		var err error
+		if path, ok := strings.CutPrefix(*faultsFlag, "@"); ok {
+			plan, err = fault.LoadFile(path)
+		} else {
+			plan, err = fault.Builtin(*faultsFlag)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanbench:", err)
+			os.Exit(2)
+		}
+		faultPlan = &plan
+	}
+
 	if *scaleTier {
 		size := 256 << 10
 		if *sizesFlag != "" {
@@ -93,6 +111,35 @@ func main() {
 		if kind != coll.Bcast {
 			fmt.Fprintln(os.Stderr, "hanbench: the scale tier runs -op bcast only")
 			os.Exit(2)
+		}
+		if *groups > 0 {
+			opts := bench.ParallelOpts{Groups: *groups, Seed: *seed, Faults: faultPlan}
+			switch *parallelSim {
+			case "oracle":
+				opts.Oracle = true
+			default:
+				w, err := strconv.Atoi(*parallelSim)
+				if err != nil || w < 0 {
+					fmt.Fprintf(os.Stderr, "hanbench: -parallel-sim must be 'oracle' or a non-negative worker count, got %q\n", *parallelSim)
+					os.Exit(2)
+				}
+				opts.Workers = w
+			}
+			res, err := bench.ParallelScaleBcast(spec, size, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hanbench:", err)
+				os.Exit(1)
+			}
+			engine := "oracle (shared serial engine)"
+			if !opts.Oracle {
+				engine = fmt.Sprintf("windowed parallel engine, %d host worker(s)", res.Workers)
+			}
+			fmt.Printf("partitioned scale tier: bcast %s on %s (%d nodes x %d ppn), %s\n%v\n",
+				han.SizeString(size), spec.Name, spec.Nodes, spec.PPN, engine, res)
+			for _, e := range res.Errors {
+				fmt.Println("  rank error:", e)
+			}
+			return
 		}
 		res, err := bench.ScaleBcast(spec, size, *seed)
 		if err != nil {
@@ -116,20 +163,7 @@ func main() {
 
 	var opts bench.IMBOpts
 	opts.Seed = *seed
-	if *faultsFlag != "" {
-		var plan fault.Plan
-		var err error
-		if path, ok := strings.CutPrefix(*faultsFlag, "@"); ok {
-			plan, err = fault.LoadFile(path)
-		} else {
-			plan, err = fault.Builtin(*faultsFlag)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hanbench:", err)
-			os.Exit(2)
-		}
-		opts.Faults = &plan
-	}
+	opts.Faults = faultPlan
 	if *metricsOut != "" {
 		opts.Metrics = metrics.New()
 	}

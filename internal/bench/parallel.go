@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/exec"
+	"github.com/hanrepro/han/internal/fault"
+	"github.com/hanrepro/han/internal/han"
+	"github.com/hanrepro/han/internal/mpi"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+// This file implements the partitioned scale workload for the parallel
+// discrete-event engine (sim.Parallel): the machine's nodes are split into
+// node groups — the natural HAN boundary, since intra-node flows never
+// cross groups — and each group becomes one partition owning a private
+// group-local machine, world, and HAN instance. The only inter-group
+// coupling is the root group's fan-out: per-destination uplink transfers
+// modelled as flows through the root node's NIC plus a dedicated wire
+// resource, handed across sim.Links whose lookahead is the cluster's
+// inter-node latency. Every group then runs a group-local broadcast.
+//
+// The same construction runs on either engine: oracle mode places all
+// partitions on one shared serial engine (the untouched reference), and
+// windowed mode gives each partition its own engine advanced in
+// lookahead-bounded rounds on an exec.Pool. The per-rank completion-time
+// hash must be bit-identical across modes, worker counts, seeds, and
+// fault/crash plans — the differential matrix in parallel_test.go and the
+// CI determinism leg enforce exactly that.
+//
+// Per-rank errors are recorded into the result (and hashed) instead of
+// stopping the engine: Engine.Stop is global on the shared oracle engine
+// but partition-local under the windowed engine, so a partitioned workload
+// that wants oracle parity must not abort the whole simulation from one
+// rank. The recovery policies (han.Shrink, or recording the Abort error)
+// keep every group's outcome locally determined.
+
+// ParallelOpts configures one partitioned scale run.
+type ParallelOpts struct {
+	// Groups is the number of node-group partitions; it must divide
+	// spec.Nodes. Group 0 holds the global root.
+	Groups int
+	// Workers is the host worker count for the windowed engine (<= 0
+	// means GOMAXPROCS). Ignored in oracle mode.
+	Workers int
+	// Oracle runs every partition on one shared serial engine — the
+	// bit-identical reference the windowed engine is tested against.
+	Oracle bool
+	// Seed seeds each group's world RNG (group g derives a distinct
+	// deterministic sub-seed). Zero keeps the worlds' default RNGs.
+	Seed int64
+	// Faults, when non-nil, is attached to every group world. Rank- and
+	// node-addressed entries (stragglers, crashes) are interpreted
+	// group-locally: Rank 3 crashes local rank 3 of every group.
+	Faults *fault.Plan
+	// Policy is each group HAN's failure policy (han.Abort or han.Shrink).
+	Policy han.FailPolicy
+}
+
+// ParallelResult is the outcome of one partitioned scale run.
+type ParallelResult struct {
+	// Ranks is the total simulated world size across all groups.
+	Ranks int
+	// Groups and Workers echo the run configuration (Workers is 0 for the
+	// serial oracle).
+	Groups, Workers int
+	// SimSeconds is the virtual completion time of the last rank.
+	SimSeconds float64
+	// Hash is the sim-bit hash: FNV-1a over every rank's completion-time
+	// bit pattern and recorded error string, in (group, rank) order. Two
+	// runs agree on Hash iff they agree on every per-rank outcome bit.
+	Hash uint64
+	// Errors lists recorded per-rank errors as "g<G>/r<R>: <err>", in
+	// (group, rank) order. Empty on a clean run.
+	Errors []string
+}
+
+func (r ParallelResult) String() string {
+	return fmt.Sprintf("%d ranks in %d groups (workers=%d): sim %.1f us, bits %016x, %d rank error(s)",
+		r.Ranks, r.Groups, r.Workers, r.SimSeconds*1e6, r.Hash, len(r.Errors))
+}
+
+// groupSeed derives group g's world seed from the run seed.
+func groupSeed(seed int64, g int) int64 {
+	return seed + int64(g)*1_000_003
+}
+
+// ParallelScaleBcast runs the partitioned broadcast workload described in
+// the file comment at spec's scale with the given payload size and returns
+// the per-rank outcome hash. Same (spec, size, opts modulo Workers/Oracle)
+// in, same ParallelResult out — on either engine, at any worker count.
+func ParallelScaleBcast(spec cluster.Spec, size int, o ParallelOpts) (ParallelResult, error) {
+	groups := o.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	if spec.Nodes%groups != 0 {
+		return ParallelResult{}, fmt.Errorf("bench: %d groups do not divide %d nodes", groups, spec.Nodes)
+	}
+	if spec.InterLatency <= 0 {
+		return ParallelResult{}, fmt.Errorf("bench: partitioned run needs a positive inter-node latency for lookahead, got %v", spec.InterLatency)
+	}
+
+	var par *sim.Parallel
+	if o.Oracle {
+		par = sim.NewOracle(groups)
+	} else {
+		par = sim.NewParallel(groups)
+	}
+	look := sim.Time(spec.InterLatency)
+	links := make([]*sim.Link, groups)
+	for g := 1; g < groups; g++ {
+		links[g] = par.Connect(0, g, look)
+	}
+
+	gspec := spec
+	gspec.Nodes = spec.Nodes / groups
+	times := make([][]sim.Time, groups)
+	errs := make([][]string, groups)
+	root := par.Part(0).Engine()
+	rootMach := cluster.NewMachine(root, func() cluster.Spec {
+		gs := gspec
+		gs.Name = fmt.Sprintf("%s/g0", spec.Name)
+		return gs
+	}())
+
+	for g := 0; g < groups; g++ {
+		g := g
+		eng := par.Part(g).Engine()
+		var m *cluster.Machine
+		if g == 0 {
+			m = rootMach
+		} else {
+			gs := gspec
+			gs.Name = fmt.Sprintf("%s/g%d", spec.Name, g)
+			m = cluster.NewMachine(eng, gs)
+		}
+		w := mpi.NewWorld(m, mpi.OpenMPI())
+		if o.Seed != 0 {
+			w.Seed(groupSeed(o.Seed, g))
+		}
+		if o.Faults != nil && !o.Faults.IsZero() {
+			w.AttachFaults(*o.Faults)
+		}
+		h := han.New(w)
+		h.OnFailure = o.Policy
+		times[g] = make([]sim.Time, gspec.Ranks())
+		errs[g] = make([]string, gspec.Ranks())
+		link := links[g]
+		w.Start(func(p *mpi.Proc) {
+			if g > 0 && p.Rank == 0 {
+				// Group leader: wait for the root group's uplink delivery,
+				// then model the inbound DMA through this node's NIC and
+				// memory bus before seeding the group-local broadcast.
+				bytes := link.Recv(p.Sim).(int)
+				f := m.Net.Start(float64(bytes), m.NICIn(0), m.InboundBus(0))
+				p.Sim.Wait(f.Done())
+			}
+			err := h.Bcast(p, mpi.Phantom(size), 0, han.Config{})
+			times[g][p.Rank] = p.Now()
+			if err != nil {
+				errs[g][p.Rank] = err.Error()
+			}
+		})
+	}
+
+	// Root-group fan-out: one uplink per destination group, each a flow
+	// through the root node's outbound NIC and a dedicated wire, then the
+	// inter-node latency on the link. The uplinks contend with group 0's
+	// own broadcast traffic on nicOut(0), exactly as HAN's inter-node
+	// stage would.
+	for g := 1; g < groups; g++ {
+		g := g
+		wire := rootMach.Net.NewResource(fmt.Sprintf("uplink.g%d", g), spec.NICBandwidth)
+		link := links[g]
+		root.Spawn(fmt.Sprintf("uplink.g%d", g), func(p *sim.Proc) {
+			f := rootMach.Net.Start(float64(size), rootMach.NICOut(0), wire)
+			p.Wait(f.Done())
+			link.Send(look, size)
+		})
+	}
+
+	var runner sim.Runner
+	workers := 0
+	if !o.Oracle {
+		pool := exec.NewPool(o.Workers)
+		defer pool.Close()
+		runner = pool
+		workers = pool.Workers()
+	}
+	if err := par.Run(runner); err != nil {
+		return ParallelResult{}, fmt.Errorf("bench: partitioned run failed: %w", err)
+	}
+
+	res := ParallelResult{Ranks: spec.Ranks(), Groups: groups, Workers: workers}
+	hash := fnv.New64a()
+	var buf [8]byte
+	for g := 0; g < groups; g++ {
+		for r := range times[g] {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(float64(times[g][r])))
+			hash.Write(buf[:])
+			if e := errs[g][r]; e != "" {
+				hash.Write([]byte(e))
+				res.Errors = append(res.Errors, fmt.Sprintf("g%d/r%d: %s", g, r, e))
+			}
+			if t := float64(times[g][r]); t > res.SimSeconds {
+				res.SimSeconds = t
+			}
+		}
+	}
+	res.Hash = hash.Sum64()
+	return res, nil
+}

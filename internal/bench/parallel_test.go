@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"github.com/hanrepro/han/internal/cluster"
+	"github.com/hanrepro/han/internal/fault"
+	"github.com/hanrepro/han/internal/han"
+)
+
+// parSpec is the differential matrix's machine: ShaheenII hardware ratios
+// at 8 nodes x 4 ranks, small enough that the full (engine x workers x
+// seeds x plans) product stays fast under -race.
+func parSpec() cluster.Spec {
+	s := cluster.ShaheenII()
+	s.Nodes = 8
+	s.PPN = 4
+	return s
+}
+
+// parPlans returns the differential fault matrix in fixed order: a clean
+// run, a lossy-fabric plan (at an eager-path payload size, so the drop RNG
+// actually draws), and a crash plan killing a non-leader rank of every
+// group as it enters the broadcast.
+func parPlans() []struct {
+	name   string
+	size   int
+	plan   *fault.Plan
+	policy han.FailPolicy
+} {
+	drops, err := fault.Builtin("drops")
+	if err != nil {
+		panic(err)
+	}
+	crash := fault.Plan{Crashes: []fault.CrashSpec{{Rank: 5, AfterColl: 1}}}
+	return []struct {
+		name   string
+		size   int
+		plan   *fault.Plan
+		policy han.FailPolicy
+	}{
+		{"clean", 256 << 10, nil, han.Abort},
+		{"drops", 4 << 10, &drops, han.Abort},
+		{"crash-shrink", 256 << 10, &crash, han.Shrink},
+	}
+}
+
+// TestParallelSimMatchesOracle is the acceptance differential: for every
+// fault plan and seed, the windowed parallel engine must produce the exact
+// SimSeconds, sim-bit hash, and per-rank error list of the serial oracle
+// at every worker count. HAN_PARSIM_WORKERS narrows the worker axis so the
+// CI determinism matrix can fan the cells out.
+func TestParallelSimMatchesOracle(t *testing.T) {
+	workerAxis := []int{1, 2, 8}
+	if env := os.Getenv("HAN_PARSIM_WORKERS"); env != "" {
+		w, err := strconv.Atoi(env)
+		if err != nil || w < 1 {
+			t.Fatalf("bad HAN_PARSIM_WORKERS=%q: want a positive worker count", env)
+		}
+		workerAxis = []int{w}
+	}
+	spec := parSpec()
+	cleanBits := map[int64]uint64{}
+	for _, plan := range parPlans() {
+		for _, seed := range []int64{1, 2, 3} {
+			opts := ParallelOpts{Groups: 4, Seed: seed, Faults: plan.plan, Policy: plan.policy}
+			opts.Oracle = true
+			want, err := ParallelScaleBcast(spec, plan.size, opts)
+			if err != nil {
+				t.Fatalf("%s/seed%d: oracle: %v", plan.name, seed, err)
+			}
+			switch plan.name {
+			case "clean":
+				cleanBits[seed] = want.Hash
+			case "crash-shrink":
+				// Same payload size as the clean cell: the dead ranks must
+				// move the sim bits, or the plan was not exercised.
+				if want.Hash == cleanBits[seed] {
+					t.Fatalf("%s/seed%d: bits %016x identical to the clean run — crash plan not exercised?",
+						plan.name, seed, want.Hash)
+				}
+			}
+			for _, workers := range workerAxis {
+				opts.Oracle = false
+				opts.Workers = workers
+				got, err := ParallelScaleBcast(spec, plan.size, opts)
+				if err != nil {
+					t.Fatalf("%s/seed%d/workers%d: %v", plan.name, seed, workers, err)
+				}
+				if got.Hash != want.Hash || got.SimSeconds != want.SimSeconds {
+					t.Errorf("%s/seed%d/workers%d: (sim %.9g, bits %016x) != oracle (sim %.9g, bits %016x)",
+						plan.name, seed, workers, got.SimSeconds, got.Hash, want.SimSeconds, want.Hash)
+				}
+				if len(got.Errors) != len(want.Errors) {
+					t.Errorf("%s/seed%d/workers%d: %d rank errors, oracle %d", plan.name, seed, workers, len(got.Errors), len(want.Errors))
+					continue
+				}
+				for i := range got.Errors {
+					if got.Errors[i] != want.Errors[i] {
+						t.Errorf("%s/seed%d/workers%d: error[%d] = %q, oracle %q", plan.name, seed, workers, i, got.Errors[i], want.Errors[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSimSeedSensitivity guards the matrix against a degenerate
+// workload: under the lossy plan, different seeds must actually produce
+// different sim bits (otherwise the differential above proves nothing
+// about seed plumbing).
+func TestParallelSimSeedSensitivity(t *testing.T) {
+	spec := parSpec()
+	drops, err := fault.Builtin("drops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := map[uint64]int64{}
+	for _, seed := range []int64{1, 2, 3} {
+		res, err := ParallelScaleBcast(spec, 4<<10, ParallelOpts{Groups: 4, Oracle: true, Seed: seed, Faults: &drops})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := hashes[res.Hash]; dup {
+			t.Fatalf("seeds %d and %d collide on bits %016x", prev, seed, res.Hash)
+		}
+		hashes[res.Hash] = seed
+	}
+}
+
+// TestParallelGroupsValidation pins the error paths: groups must divide
+// the node count, and the lookahead needs a positive inter-node latency.
+func TestParallelGroupsValidation(t *testing.T) {
+	spec := parSpec()
+	if _, err := ParallelScaleBcast(spec, 1024, ParallelOpts{Groups: 3}); err == nil {
+		t.Error("3 groups over 8 nodes did not error")
+	}
+	bad := spec
+	bad.InterLatency = 0
+	if _, err := ParallelScaleBcast(bad, 1024, ParallelOpts{Groups: 2}); err == nil {
+		t.Error("zero InterLatency did not error")
+	}
+}
+
+// TestParallelSingleGroup pins the degenerate partitioning: one group is
+// one serial world, and both engines agree on it trivially.
+func TestParallelSingleGroup(t *testing.T) {
+	spec := parSpec()
+	want, err := ParallelScaleBcast(spec, 64<<10, ParallelOpts{Groups: 1, Oracle: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParallelScaleBcast(spec, 64<<10, ParallelOpts{Groups: 1, Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash != want.Hash {
+		t.Fatalf("single-group windowed bits %016x != oracle %016x", got.Hash, want.Hash)
+	}
+}

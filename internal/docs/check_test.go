@@ -1,0 +1,161 @@
+package docs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	for in, want := range map[string]string{
+		"Quickstart":        "quickstart",
+		"6. Export formats": "6-export-formats",
+		"Install / build":   "install--build",
+		"DETERMINISM — the seed, replay, and byte-identity contract": "determinism--the-seed-replay-and-byte-identity-contract",
+		"Command-line reference": "command-line-reference",
+		"`hanbench` flags":       "hanbench-flags",
+		"14. Parallel discrete-event engine (`sim.Parallel`)": "14-parallel-discrete-event-engine-simparallel",
+	} {
+		if got := Slugify(in); got != want {
+			t.Errorf("Slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAnchorsDeduplicates(t *testing.T) {
+	src := "# Setup\n\n## Setup\n\ntext\n"
+	got := Anchors(src)
+	for _, want := range []string{"setup", "setup-1"} {
+		if !got[want] {
+			t.Errorf("Anchors missing %q (got %v)", want, got)
+		}
+	}
+}
+
+// TestBrokenAnchorDetected is the unit-level broken-anchor case: a
+// fragment link pointing at a heading that does not exist must not
+// resolve against the document's anchor set.
+func TestBrokenAnchorDetected(t *testing.T) {
+	doc := "# Title\n\n## Real section\n\nSee [here](#real-section) and [gone](#no-such-section).\n"
+	anchors := Anchors(doc)
+	links := Links(StripCode(doc))
+	if len(links) != 2 {
+		t.Fatalf("got %d links, want 2: %+v", len(links), links)
+	}
+	if !anchors[links[0].Fragment] {
+		t.Errorf("valid anchor %q did not resolve", links[0].Fragment)
+	}
+	if anchors[links[1].Fragment] {
+		t.Errorf("broken anchor %q resolved but the heading does not exist", links[1].Fragment)
+	}
+}
+
+func TestLinksSplitsFragments(t *testing.T) {
+	src := "See [a](../DESIGN.md#4-key-modelling-decisions), [b](#local), and [c](other.md)."
+	got := Links(src)
+	want := []Link{
+		{Target: "../DESIGN.md", Fragment: "4-key-modelling-decisions", Line: 1},
+		{Target: "", Fragment: "local", Line: 1},
+		{Target: "other.md", Fragment: "", Line: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Links = %+v, want %+v", got, want)
+	}
+}
+
+func TestSectionNumbers(t *testing.T) {
+	src := "## 1. First\n\n### 2. not a section (level 3)\n\n## 12. Twelfth\n\n## Unnumbered\n"
+	got := SectionNumbers(src)
+	if !got[1] || !got[12] || got[2] || len(got) != 2 {
+		t.Errorf("SectionNumbers = %v, want {1,12}", got)
+	}
+}
+
+func TestSectionRefs(t *testing.T) {
+	src := "See DESIGN.md §13 and the bare §4.\n" +
+		"A list: DESIGN.md §7, §12, and §8 — all three qualified.\n" +
+		"The paper's §III-A2 is a roman-numeral reference and is ignored.\n" +
+		"[DESIGN.md](../DESIGN.md)\n§9 qualified across the newline.\n"
+	got := SectionRefs(src)
+	want := []SectionRef{
+		{File: "DESIGN.md", Num: 13, Line: 1},
+		{File: "", Num: 4, Line: 1},
+		{File: "DESIGN.md", Num: 7, Line: 2},
+		{File: "DESIGN.md", Num: 12, Line: 2},
+		{File: "DESIGN.md", Num: 8, Line: 2},
+		{File: "DESIGN.md", Num: 9, Line: 4},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SectionRefs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestBrokenSectionRefDetected is the unit-level broken-section case: a
+// §N reference naming a section the target document does not define
+// must not resolve.
+func TestBrokenSectionRefDetected(t *testing.T) {
+	design := "## 1. Intro\n\n## 2. Model\n"
+	doc := "Good: DESIGN.md §2. Bad: DESIGN.md §9.\n"
+	nums := SectionNumbers(design)
+	refs := SectionRefs(StripCode(doc))
+	if len(refs) != 2 {
+		t.Fatalf("got %d refs, want 2: %+v", len(refs), refs)
+	}
+	if !nums[refs[0].Num] {
+		t.Errorf("valid ref §%d did not resolve", refs[0].Num)
+	}
+	if nums[refs[1].Num] {
+		t.Errorf("broken ref §%d resolved but the section does not exist", refs[1].Num)
+	}
+}
+
+func TestStripCodeSuppressesRefs(t *testing.T) {
+	src := "```\nDESIGN.md §99 inside a fence\n```\nand `§98 inline` too, but §1 survives.\n"
+	refs := SectionRefs(StripCode(src))
+	if len(refs) != 1 || refs[0].Num != 1 {
+		t.Errorf("SectionRefs after StripCode = %+v, want only §1", refs)
+	}
+}
+
+func TestCommandFlags(t *testing.T) {
+	src := `package main
+
+import "flag"
+
+func main() {
+	op := flag.String("op", "bcast", "collective")
+	n := flag.Int("nodes", 0, "count")
+	fs := flag.NewFlagSet("sub", flag.ExitOnError)
+	size := fs.Int64("size", 0, "bytes")
+	notAFlag := someType.String() // no args: ignored
+	_ = []interface{}{op, n, size, notAFlag}
+}
+`
+	got, err := CommandFlags("main.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"op", "nodes", "size"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CommandFlags = %v, want %v", got, want)
+	}
+}
+
+func TestFlagSectionAndMentions(t *testing.T) {
+	readme := "## Reference\n\n### hanbench\n\n- `-op` — collective\n- `-seed` — RNG seed\n\n### hantune\n\n- `-o` — output\n"
+	sec := FlagSection(readme, "hanbench")
+	if sec == "" {
+		t.Fatal("hanbench section not found")
+	}
+	if !MentionsFlag(sec, "seed") {
+		t.Error("-seed not found in hanbench section")
+	}
+	if MentionsFlag(sec, "o") {
+		t.Error("-o belongs to hantune but matched in hanbench's section")
+	}
+	if MentionsFlag(sec, "see") {
+		t.Error("-see matched against -seed: flag-name matching must be exact")
+	}
+	if FlagSection(readme, "netpipe") != "" {
+		t.Error("missing section did not return empty")
+	}
+}

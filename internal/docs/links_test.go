@@ -3,14 +3,9 @@ package docs
 import (
 	"os"
 	"path/filepath"
-	"regexp"
 	"strings"
 	"testing"
 )
-
-// inlineLink matches markdown inline links and images: [text](target)
-// and ![alt](target), capturing the target.
-var inlineLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)]+)\)`)
 
 // markdownFiles returns every .md file in the repository, skipping VCS
 // and build-output directories.
@@ -43,67 +38,138 @@ func markdownFiles(t *testing.T) []string {
 	return files
 }
 
-// stripCodeBlocks blanks out fenced code blocks and inline code spans so
-// example snippets containing bracket syntax do not produce false links.
-func stripCodeBlocks(src string) string {
-	var b strings.Builder
-	inFence := false
-	for _, line := range strings.SplitAfter(src, "\n") {
-		trimmed := strings.TrimSpace(line)
-		if strings.HasPrefix(trimmed, "```") {
-			inFence = !inFence
-			b.WriteString("\n")
-			continue
-		}
-		if inFence {
-			b.WriteString("\n")
-			continue
-		}
-		// Blank inline code spans, keeping line structure for messages.
-		for {
-			i := strings.IndexByte(line, '`')
-			if i < 0 {
-				break
-			}
-			j := strings.IndexByte(line[i+1:], '`')
-			if j < 0 {
-				break
-			}
-			line = line[:i] + strings.Repeat(" ", j+2) + line[i+1+j+1:]
-		}
-		b.WriteString(line)
+// readStripped loads a markdown file with code blocks and inline code
+// spans blanked out.
+func readStripped(t *testing.T, file string) string {
+	t.Helper()
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return b.String()
+	return StripCode(string(src))
 }
 
 // TestIntraRepoLinksResolve verifies that every local link target in
-// every markdown file exists, relative to the file containing the link.
-// External URLs and pure fragment links are skipped, not fetched.
+// every markdown file exists relative to the file containing the link,
+// and that every fragment pointing into a markdown file (its own or
+// another's) names a real heading anchor. External URLs are skipped,
+// not fetched.
 func TestIntraRepoLinksResolve(t *testing.T) {
+	anchorCache := make(map[string]map[string]bool)
+	anchorsOf := func(file string) map[string]bool {
+		if a, ok := anchorCache[file]; ok {
+			return a
+		}
+		a := Anchors(readStripped(t, file))
+		anchorCache[file] = a
+		return a
+	}
 	for _, file := range markdownFiles(t) {
-		src, err := os.ReadFile(file)
+		for _, l := range Links(readStripped(t, file)) {
+			if strings.Contains(l.Target, "://") || strings.HasPrefix(l.Target, "mailto:") {
+				continue
+			}
+			resolved := file // pure-fragment links point into their own file
+			if l.Target != "" {
+				resolved = filepath.Join(filepath.Dir(file), filepath.FromSlash(l.Target))
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s:%d: broken link %q (resolved %s): %v", file, l.Line, l.Target, resolved, err)
+					continue
+				}
+			}
+			if l.Fragment == "" || !strings.EqualFold(filepath.Ext(resolved), ".md") {
+				continue
+			}
+			if !anchorsOf(resolved)[l.Fragment] {
+				t.Errorf("%s:%d: broken anchor #%s: no heading in %s slugifies to it",
+					file, l.Line, l.Fragment, resolved)
+			}
+		}
+	}
+}
+
+// TestSectionRefsResolve verifies every §N cross-reference in the
+// repository's markdown: a reference qualified with a file name
+// ("DESIGN.md §13", with the qualifier inherited across comma lists)
+// must name a "## N." section of that file; an unqualified §N resolves
+// against the containing file's own numbered sections when it has any,
+// and against DESIGN.md otherwise. Roman-numeral references (the
+// paper's "§III-A2") are out of scope by construction.
+func TestSectionRefsResolve(t *testing.T) {
+	files := markdownFiles(t)
+	byBase := make(map[string]string)
+	numsCache := make(map[string]map[int]bool)
+	for _, f := range files {
+		base := filepath.Base(f)
+		if prev, dup := byBase[base]; dup {
+			t.Fatalf("duplicate markdown basename %q (%s, %s): file-qualified §N refs would be ambiguous", base, prev, f)
+		}
+		byBase[base] = f
+		numsCache[f] = SectionNumbers(readStripped(t, f))
+	}
+	design, ok := byBase["DESIGN.md"]
+	if !ok {
+		t.Fatal("DESIGN.md not found")
+	}
+	for _, file := range files {
+		if filepath.Base(file) == "ISSUE.md" {
+			continue // driver work order, not part of the documentation set
+		}
+		for _, ref := range SectionRefs(readStripped(t, file)) {
+			target := file
+			if ref.File != "" {
+				var ok bool
+				if target, ok = byBase[ref.File]; !ok {
+					t.Errorf("%s:%d: §%d qualified with unknown file %q", file, ref.Line, ref.Num, ref.File)
+					continue
+				}
+			} else if len(numsCache[file]) == 0 {
+				target = design
+			}
+			if !numsCache[target][ref.Num] {
+				t.Errorf("%s:%d: broken section reference §%d: %s has no \"## %d.\" heading",
+					file, ref.Line, ref.Num, target, ref.Num)
+			}
+		}
+	}
+}
+
+// TestReadmeFlagReference is the CLI drift check: every flag registered
+// by a cmd/* main must appear as -name inside that command's "### <cmd>"
+// subsection of README.md's command-line reference. A new flag without a
+// README entry (or a command without a subsection) fails here — and in
+// the CI docs-drift job.
+func TestReadmeFlagReference(t *testing.T) {
+	root := filepath.Join("..", "..")
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds, err := filepath.Glob(filepath.Join(root, "cmd", "*", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) < 4 {
+		t.Fatalf("suspiciously few commands found: %v", cmds)
+	}
+	for _, mainGo := range cmds {
+		cmd := filepath.Base(filepath.Dir(mainGo))
+		src, err := os.ReadFile(mainGo)
 		if err != nil {
 			t.Fatal(err)
 		}
-		text := stripCodeBlocks(string(src))
-		for _, m := range inlineLink.FindAllStringSubmatch(text, -1) {
-			target := strings.TrimSpace(m[1])
-			// Drop an optional link title: [x](path "title").
-			if i := strings.IndexAny(target, " \t"); i >= 0 {
-				target = target[:i]
-			}
-			// Drop a fragment; pure-fragment links are section anchors.
-			if i := strings.IndexByte(target, '#'); i >= 0 {
-				target = target[:i]
-			}
-			if target == "" ||
-				strings.Contains(target, "://") ||
-				strings.HasPrefix(target, "mailto:") {
-				continue
-			}
-			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
-			if _, err := os.Stat(resolved); err != nil {
-				t.Errorf("%s: broken link %q (resolved %s): %v", file, m[1], resolved, err)
+		flags, err := CommandFlags(mainGo, string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", mainGo, err)
+		}
+		section := FlagSection(string(readme), cmd)
+		if section == "" {
+			t.Errorf("README.md has no \"### %s\" subsection in the command-line reference", cmd)
+			continue
+		}
+		for _, name := range flags {
+			if !MentionsFlag(section, name) {
+				t.Errorf("README.md: flag -%s of cmd/%s is missing from its \"### %s\" subsection", name, cmd, cmd)
 			}
 		}
 	}

@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryIndexOncePerRound(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		const n, rounds = 37, 50
+		counts := make([]atomic.Int64, n)
+		for r := 0; r < rounds; r++ {
+			p.Run(n, func(i int) { counts[i].Add(1) })
+		}
+		p.Close()
+		for i := range counts {
+			if got := counts[i].Load(); got != rounds {
+				t.Fatalf("workers=%d: index %d ran %d times, want %d", workers, i, got, rounds)
+			}
+		}
+		if got := p.Jobs(); got != n*rounds {
+			t.Errorf("workers=%d: Jobs() = %d, want %d", workers, got, n*rounds)
+		}
+		if got := p.Rounds(); got != rounds {
+			t.Errorf("workers=%d: Rounds() = %d, want %d", workers, got, rounds)
+		}
+	}
+}
+
+// TestPoolBarrierPublishes pins the happens-before contract: state written
+// by jobs of round r must be visible to round r+1's jobs without locks —
+// the property sim.Parallel relies on to migrate partitions across
+// workers. Run under -race in CI, this fails loudly if the barrier leaks.
+func TestPoolBarrierPublishes(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 16
+	state := make([]int, n)
+	for r := 0; r < 200; r++ {
+		want := r
+		p.Run(n, func(i int) {
+			if state[i] != want {
+				t.Errorf("round %d job %d saw stale state %d", want, i, state[i])
+			}
+			state[i] = want + 1
+		})
+	}
+}
+
+func TestPoolPanicPropagates(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "boom") {
+			t.Fatalf("recover = %v, want pool job panic carrying boom", r)
+		}
+		// The pool must stay usable after a panicked round.
+		var ran atomic.Int64
+		p.Run(5, func(int) { ran.Add(1) })
+		if ran.Load() != 5 {
+			t.Fatalf("round after panic ran %d jobs, want 5", ran.Load())
+		}
+	}()
+	p.Run(10, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestPoolRunAfterClosePanics(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // idempotent
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Run after Close did not panic")
+		}
+	}()
+	p.Run(2, func(int) {})
+}
+
+func TestPoolSingleWorkerIsInline(t *testing.T) {
+	p := NewPool(1)
+	order := []int{}
+	p.Run(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("one-worker pool order %v, want ascending", order)
+		}
+	}
+	p.Close()
+}

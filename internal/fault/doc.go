@@ -1,0 +1,28 @@
+// Package fault implements deterministic, seeded fault injection for the
+// simulated cluster stack.
+//
+// A Plan schedules time-varying adverse events against a run: link
+// degradation and flaps (capacity mutation on the flow network's resources,
+// incrementally rebalanced), per-rank straggler bursts (scaled send/recv
+// progression overheads), eager-message drops that the P2P layer recovers
+// from with ack/timeout/exponential-backoff retransmits, and permanent
+// crashes (CrashSpec: a rank or whole node killed at a simulated time or
+// on entering its Nth collective, detected by the mpi failure detector and
+// recovered per han's OnFailure policy — DESIGN.md §12).
+//
+// All randomness is drawn through a closure supplied by the World (its
+// seeded RNG), and every draw happens inside the engine's serialized event
+// dispatch, so an identical (seed, plan) pair reproduces byte-identical
+// simulated times. An all-zero Plan schedules nothing, draws nothing, and
+// leaves every hot path on its original code — attaching it perturbs a run
+// by exactly zero events.
+//
+// Plans are engine-agnostic: a plan attaches to one World and draws from
+// that world's RNG, so in a partitioned simulation (sim.Parallel,
+// DESIGN.md §14) each partition arms its own plan instance against its
+// own world and the (seed, plan) determinism holds per partition — the
+// same plan set drives the serial oracle and the windowed parallel engine
+// to bit-identical outcomes, which the differential matrix in
+// internal/bench enforces across worker counts, seeds, and crash plans.
+// See docs/DETERMINISM.md for the full replay contract.
+package fault

@@ -1,18 +1,3 @@
-// Package fault implements deterministic, seeded fault injection for the
-// simulated cluster stack.
-//
-// A Plan schedules time-varying adverse events against a run: link
-// degradation and flaps (capacity mutation on the flow network's resources,
-// incrementally rebalanced), per-rank straggler bursts (scaled send/recv
-// progression overheads), and eager-message drops that the P2P layer
-// recovers from with ack/timeout/exponential-backoff retransmits.
-//
-// All randomness is drawn through a closure supplied by the World (its
-// seeded RNG), and every draw happens inside the engine's serialized event
-// dispatch, so an identical (seed, plan) pair reproduces byte-identical
-// simulated times. An all-zero Plan schedules nothing, draws nothing, and
-// leaves every hot path on its original code — attaching it perturbs a run
-// by exactly zero events.
 package fault
 
 import (

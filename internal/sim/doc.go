@@ -1,0 +1,55 @@
+// Package sim implements a deterministic process-oriented discrete-event
+// simulation engine.
+//
+// The engine owns a virtual clock and an event queue ordered by (time,
+// sequence number), so two runs of the same program observe identical event
+// orderings. Simulated processes are goroutines that cooperate with the
+// engine through a strict baton-passing protocol: at any instant at most one
+// goroutine (either the engine or a single process) is running, which means
+// all engine and process state can be mutated without locks.
+//
+// Processes block with Proc.Sleep and Proc.Wait; other code wakes them by
+// firing Signals or scheduling callbacks with Engine.At / Engine.After.
+//
+// Event records are pooled: large simulations (the 4096-rank HAN runs
+// schedule tens of millions of events) recycle event structs instead of
+// churning the garbage collector. Timer handles stay safe across recycling
+// through a generation counter.
+//
+// # Ownership
+//
+// An Engine — together with every Proc, network, and world attached to it
+// — is owned by exactly one goroutine-group at a time: the goroutine that
+// calls Run plus the process goroutines Run serialises through the baton
+// protocol. Nothing in the engine is locked, so touching an engine from
+// any other goroutine is a data race. Engine.Run asserts it is not
+// re-entered, and hanlint enforces the invariant statically: the simtime
+// pass forbids bare `go` statements everywhere except internal/exec, and
+// the enginebound pass forbids internal/exec from importing any
+// engine-owning package — so the only host concurrency in the tree runs
+// opaque executor jobs, each of which builds and drains a private engine
+// (DESIGN.md §10).
+//
+// # Partitioned simulation
+//
+// Parallel (parallel.go) runs several engines side by side under
+// conservative lookahead synchronization (DESIGN.md §14): each partition
+// owns a private Engine with disjoint state, partitions exchange messages
+// only through Link FIFOs with declared minimum latencies, and a windowed
+// coordinator advances every partition to a common horizon per round. The
+// incremental-advance Engine methods this requires — RunUntil,
+// NextEventTime, LiveProcs — belong to the coordinator's window loop
+// alone: hanlint's partitionbound pass forbids them outside this package,
+// because interleaving two RunUntil drivers (or branching on
+// NextEventTime outside the barrier protocol) silently breaks the
+// bit-identity contract with the serial oracle. Everyone else drives an
+// engine with Engine.Run or through a Parallel coordinator. Within a
+// window a partition's goroutine-group migrates to whichever host worker
+// the coordinator's Runner assigns — safe because the round barrier
+// establishes a happens-before edge between a partition's consecutive
+// windows (exec.Pool provides exactly that barrier).
+//
+// NewOracle builds the reference configuration: the same partitions and
+// links multiplexed onto one shared serial engine, whose event interleaving
+// defines the bit-identity contract the windowed engine is held to.
+package sim

@@ -1,34 +1,3 @@
-// Package sim implements a deterministic process-oriented discrete-event
-// simulation engine.
-//
-// The engine owns a virtual clock and an event queue ordered by (time,
-// sequence number), so two runs of the same program observe identical event
-// orderings. Simulated processes are goroutines that cooperate with the
-// engine through a strict baton-passing protocol: at any instant at most one
-// goroutine (either the engine or a single process) is running, which means
-// all engine and process state can be mutated without locks.
-//
-// Processes block with Proc.Sleep and Proc.Wait; other code wakes them by
-// firing Signals or scheduling callbacks with Engine.At / Engine.After.
-//
-// Event records are pooled: large simulations (the 4096-rank HAN runs
-// schedule tens of millions of events) recycle event structs instead of
-// churning the garbage collector. Timer handles stay safe across recycling
-// through a generation counter.
-//
-// # Ownership
-//
-// An Engine — together with every Proc, network, and world attached to it
-// — is owned by exactly one goroutine-group at a time: the goroutine that
-// calls Run plus the process goroutines Run serialises through the baton
-// protocol. Nothing in the engine is locked, so touching an engine from
-// any other goroutine is a data race. Engine.Run asserts it is not
-// re-entered, and hanlint enforces the invariant statically: the simtime
-// pass forbids bare `go` statements everywhere except internal/exec, and
-// the enginebound pass forbids internal/exec from importing any
-// engine-owning package — so the only host concurrency in the tree runs
-// opaque executor jobs, each of which builds and drains a private engine
-// (DESIGN.md §10).
 package sim
 
 import (
@@ -709,8 +678,69 @@ func (e *ErrEventBudget) Error() string {
 // *ErrEventBudget if MaxEvents was exceeded, or the error passed to Stop if
 // the run was aborted. A panic inside a process is re-panicked from Run.
 func (e *Engine) Run() error {
+	if err := e.run(0, false); err != nil {
+		return err
+	}
+	if e.live > 0 {
+		procs := e.ParkedSites()
+		names := make([]string, len(procs))
+		sites := make([]string, len(procs))
+		for i, pp := range procs {
+			names[i] = pp.Name
+			sites[i] = pp.Site
+		}
+		return &DeadlockError{Parked: names, Sites: sites}
+	}
+	return nil
+}
+
+// RunUntil dispatches every event with time strictly less than limit and
+// returns. Unlike Run it does not diagnose deadlock: a process parked when
+// the queue drains below limit may legitimately be waiting for input that a
+// later window delivers. It is the window primitive of the parallel engine
+// (see Parallel); ordinary simulations should call Run. The same ownership
+// contract applies — between RunUntil calls the engine may migrate to
+// another host goroutine only through a happens-before edge (the parallel
+// engine's round barrier provides one).
+//
+// RunUntil returns nil when the queue is empty or the next event is at or
+// past limit, an *ErrEventBudget if MaxEvents was exceeded, or the error
+// passed to Stop (a stopped engine keeps returning that error and dispatches
+// nothing further). A panic inside a process is re-panicked.
+func (e *Engine) RunUntil(limit Time) error {
+	return e.run(limit, true)
+}
+
+// NextEventTime reports the time of the earliest pending event, lazily
+// discarding cancelled heap tops on the way. ok is false when no live event
+// is queued.
+func (e *Engine) NextEventTime() (t Time, ok bool) {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.cancelled {
+			heap.Pop(&e.events)
+			e.release(ev)
+			continue
+		}
+		return ev.t, true
+	}
+	return 0, false
+}
+
+// LiveProcs reports how many spawned processes have not yet finished. The
+// parallel engine uses it after global quiescence to tell a clean drain from
+// a cross-partition deadlock.
+func (e *Engine) LiveProcs() int { return e.live }
+
+// run is the dispatch core shared by Run and RunUntil. When bounded is set,
+// dispatch stops (returning nil) once the earliest pending event is at or
+// past limit; when clear, limit is ignored and the queue drains fully.
+func (e *Engine) run(limit Time, bounded bool) error {
 	if e.running {
 		panic("sim: Engine.Run re-entered; an Engine is owned by one goroutine-group at a time (see the package ownership contract)")
+	}
+	if e.stopErr != nil {
+		return e.stopErr
 	}
 	e.running = true
 	defer func() { e.running = false }()
@@ -718,11 +748,18 @@ func (e *Engine) Run() error {
 		if e.MaxEvents != 0 && e.dispatched >= e.MaxEvents {
 			return &ErrEventBudget{Dispatched: e.dispatched}
 		}
-		ev := heap.Pop(&e.events).(*event)
-		if ev.cancelled {
-			e.release(ev)
+		// Peek before popping: an event at or past the window limit must keep
+		// its place in the heap untouched (a pop/re-push would assign a fresh
+		// sequence number and reorder it after same-instant peers it
+		// originally preceded, breaking replay identity).
+		if top := e.events[0]; top.cancelled {
+			heap.Pop(&e.events)
+			e.release(top)
 			continue
+		} else if bounded && top.t >= limit {
+			return nil
 		}
+		ev := heap.Pop(&e.events).(*event)
 		e.dispatched++
 		e.now = ev.t
 		switch ev.kind {
@@ -763,18 +800,5 @@ func (e *Engine) Run() error {
 			return e.stopErr
 		}
 	}
-	if e.stopErr != nil {
-		return e.stopErr
-	}
-	if e.live > 0 {
-		procs := e.ParkedSites()
-		names := make([]string, len(procs))
-		sites := make([]string, len(procs))
-		for i, pp := range procs {
-			names[i] = pp.Name
-			sites[i] = pp.Site
-		}
-		return &DeadlockError{Parked: names, Sites: sites}
-	}
-	return nil
+	return e.stopErr
 }
