@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint ci bench bench-alloc bench-search bench-parallel chaos chaos-soak fuzz docs
+.PHONY: build test race vet lint ci bench bench-alloc bench-search bench-parallel bench-serve chaos chaos-soak fuzz docs
 
 build:
 	$(GO) build ./...
@@ -111,6 +111,14 @@ bench-search:
 # this output on a multi-core machine.
 bench-parallel:
 	$(GO) test -run xxx -bench 'ParallelSim4096' -benchtime 3x -benchmem .
+
+# Tuning-decision service benchmark (docs/SERVING.md): the zero-alloc
+# decision microbenchmarks, then the closed-loop loopback QPS/latency
+# harness. Compare against BENCH_serve.json; regenerate that baseline
+# from this output (the harness itself emits the JSON via -serve-out).
+bench-serve:
+	$(GO) test -run xxx -bench 'Decide|ClientLoopback|ClientWire' -benchmem ./internal/autotune/ ./internal/serve/
+	$(GO) run ./cmd/hanbench -serve -clients 8 -duration 2s -machine mini
 
 # Trimmed paper-scale wall-clock benchmark (4096 ranks); compare against
 # BENCH_allocator.json.

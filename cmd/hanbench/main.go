@@ -9,11 +9,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/hanrepro/han/internal/arena"
 	"github.com/hanrepro/han/internal/autotune"
@@ -25,6 +27,7 @@ import (
 	"github.com/hanrepro/han/internal/han"
 	"github.com/hanrepro/han/internal/metrics"
 	"github.com/hanrepro/han/internal/rivals"
+	"github.com/hanrepro/han/internal/serve"
 )
 
 func main() {
@@ -44,6 +47,12 @@ func main() {
 	seed := flag.Int64("seed", 0, "RNG seed for jitter and fault draws (0 = library default); the (seed, faults) pair fully determines the run")
 	metricsOut := flag.String("metrics", "", "write an OpenMetrics text export of the sweep's runtime counters to this file (docs/OBSERVABILITY.md)")
 	workers := flag.Int("workers", 0, "concurrent per-system benchmark workers (0 = GOMAXPROCS; forced to 1 with -metrics); results are identical for any value")
+	serveMode := flag.Bool("serve", false, "benchmark the tuning-decision service (internal/serve) instead of the IMB sweep: closed-loop clients issue decide queries and the report gives QPS and latency percentiles")
+	clients := flag.Int("clients", 4, "with -serve: concurrent closed-loop load clients")
+	qps := flag.Float64("qps", 0, "with -serve: aggregate target query rate (0 = unthrottled)")
+	duration := flag.Duration("duration", 2*time.Second, "with -serve: load run length")
+	addr := flag.String("addr", "", "with -serve: dial a running hand server at this TCP address instead of benchmarking an in-process loopback server")
+	serveOut := flag.String("serve-out", "", "with -serve: also write the report as JSON to this file (BENCH_serve.json format)")
 	flag.Parse()
 
 	if *refAlloc {
@@ -85,6 +94,20 @@ func main() {
 			}
 			sizes = append(sizes, v)
 		}
+	}
+
+	if *serveMode {
+		var querySizes []int
+		if *sizesFlag != "" {
+			querySizes = sizes
+		}
+		runServeBench(serveBenchOpts{
+			machine: *machine, spec: spec, tablePath: *tablePath,
+			clients: *clients, qps: *qps, duration: *duration,
+			addr: *addr, sizes: querySizes,
+			metricsOut: *metricsOut, jsonOut: *serveOut,
+		})
+		return
 	}
 
 	var faultPlan *fault.Plan
@@ -201,6 +224,129 @@ func main() {
 		err = opts.Metrics.WriteOpenMetrics(f, 0)
 		if cerr := f.Close(); err == nil {
 			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+type serveBenchOpts struct {
+	machine    string
+	spec       cluster.Spec
+	tablePath  string
+	clients    int
+	qps        float64
+	duration   time.Duration
+	addr       string
+	sizes      []int
+	metricsOut string
+	jsonOut    string
+}
+
+// syntheticTable builds an untuned decision table for spec from HAN's
+// static heuristics — one entry per (kind, IMB size). It stands in for a
+// real autotuner table so the serving benchmark needs no tuning sweep.
+func syntheticTable(spec cluster.Spec, kinds []coll.Kind) *autotune.Table {
+	t := &autotune.Table{Machine: spec.Name, Method: "default-decision"}
+	for _, k := range kinds {
+		for _, m := range append(bench.SmallSizes(), bench.LargeSizes()...) {
+			t.Entries = append(t.Entries, autotune.Entry{
+				In:  autotune.Input{N: spec.Nodes, P: spec.PPN, M: m, T: k},
+				Cfg: han.DefaultDecision(k, m),
+			})
+		}
+	}
+	return t
+}
+
+// runServeBench drives the closed-loop QPS/latency harness against the
+// tuning-decision service: an in-process loopback server by default, or a
+// remote hand server with -addr.
+func runServeBench(o serveBenchOpts) {
+	kinds := []coll.Kind{coll.Bcast, coll.Allreduce}
+	load := serve.LoadOpts{
+		Clients:  o.clients,
+		QPS:      o.qps,
+		Duration: o.duration,
+		Clusters: []string{o.machine},
+		Kinds:    kinds,
+		Sizes:    o.sizes,
+	}
+	transport := "loopback (in-process client)"
+	var s *serve.Server
+	if o.addr != "" {
+		transport = "wire (" + o.addr + ")"
+		load.NewClient = func() (*serve.Client, error) { return serve.Dial("tcp", o.addr) }
+	} else {
+		table := syntheticTable(o.spec, kinds)
+		if o.tablePath != "" {
+			var err error
+			table, err = autotune.Load(o.tablePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hanbench:", err)
+				os.Exit(1)
+			}
+		}
+		s = serve.NewServer(serve.Options{})
+		s.PublishTable(o.machine, table)
+		load.NewClient = func() (*serve.Client, error) { return serve.NewLocalClient(s), nil }
+	}
+
+	rep, err := serve.RunLoad(load)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hanbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("decision service load: %s, machine %s\n%s\n", transport, o.machine, rep)
+	if s != nil {
+		c := s.Counters()
+		hitPct := 0.0
+		if c.Decisions > 0 {
+			hitPct = 100 * float64(c.CacheHits) / float64(c.Decisions)
+		}
+		fmt.Printf("server: %d decisions, %.1f%% cache hits, %d evictions, server-side p99 %s\n",
+			c.Decisions, hitPct, c.Evictions, c.LatencyP99)
+	}
+
+	if o.metricsOut != "" && s != nil {
+		reg := metrics.New()
+		s.PublishMetrics(reg)
+		f, err := os.Create(o.metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanbench:", err)
+			os.Exit(1)
+		}
+		err = reg.WriteOpenMetrics(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hanbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if o.jsonOut != "" {
+		out := map[string]any{
+			"name":       "tuning-decision-service",
+			"benchmark":  "hanbench -serve (make bench-serve)",
+			"transport":  transport,
+			"machine":    o.machine,
+			"clients":    rep.Clients,
+			"target_qps": o.qps,
+			"duration_s": rep.Elapsed.Seconds(),
+			"requests":   rep.Requests,
+			"errors":     rep.Errors,
+			"qps":        rep.QPS,
+			"p50_us":     float64(rep.P50.Nanoseconds()) / 1e3,
+			"p90_us":     float64(rep.P90.Nanoseconds()) / 1e3,
+			"p99_us":     float64(rep.P99.Nanoseconds()) / 1e3,
+		}
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(o.jsonOut, append(buf, '\n'), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hanbench:", err)

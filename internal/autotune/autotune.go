@@ -199,12 +199,152 @@ type Table struct {
 	// Measurements counts individual benchmark runs.
 	Measurements int
 	Entries      []Entry
+
+	// idx is the per-kind decision index Decide binary-searches. Built
+	// lazily (and rebuilt when Entries grows); BuildIndex constructs it
+	// eagerly for callers that will Decide from multiple goroutines.
+	idx *decideIndex
+}
+
+// decideIndex precomputes, per collective kind, the sorted log2 boundaries
+// of the table's sampled message sizes, so Decide can binary-search the
+// nearest sample instead of scanning every entry. The index captures the
+// entry count it was built from; Decide rebuilds it when entries were
+// appended since.
+type decideIndex struct {
+	n     int
+	kinds map[coll.Kind]*kindIndex
+}
+
+// kindIndex indexes the entries of one collective kind. Distances in
+// Decide depend only on the bit length of the sampled size, so entries
+// collapse onto their bit-length class; firstAt keeps the lowest entry
+// index per class, which is exactly the entry the reference scan's
+// first-strict-winner rule would pick.
+type kindIndex struct {
+	bls      []int // sorted unique bit lengths of entries with M > 0
+	firstAt  []int // firstAt[i]: lowest entry index whose bit length is bls[i]
+	firstAny int   // lowest entry index of this kind (degenerate fallback)
+}
+
+// BuildIndex constructs the decision index eagerly. A table is safe for
+// concurrent Decide calls only after BuildIndex (Load calls it; the batch
+// paths that mutate Entries rely on Decide's lazy rebuild instead).
+func (t *Table) BuildIndex() {
+	t.idx = t.buildIndex()
+}
+
+func (t *Table) buildIndex() *decideIndex {
+	idx := &decideIndex{n: len(t.Entries), kinds: make(map[coll.Kind]*kindIndex)}
+	for i, e := range t.Entries {
+		ki := idx.kinds[e.In.T]
+		if ki == nil {
+			ki = &kindIndex{firstAny: i}
+			idx.kinds[e.In.T] = ki
+		}
+		if e.In.M <= 0 {
+			continue // infinite distance to every query; firstAny covers it
+		}
+		bl := bitLen(e.In.M)
+		pos := sort.SearchInts(ki.bls, bl)
+		if pos < len(ki.bls) && ki.bls[pos] == bl {
+			continue // a lower entry index already owns this class
+		}
+		ki.bls = append(ki.bls, 0)
+		copy(ki.bls[pos+1:], ki.bls[pos:])
+		ki.bls[pos] = bl
+		ki.firstAt = append(ki.firstAt, 0)
+		copy(ki.firstAt[pos+1:], ki.firstAt[pos:])
+		ki.firstAt[pos] = i
+	}
+	return idx
 }
 
 // Decide returns the best configuration for the given kind and message
 // size, choosing the entry whose sampled message size is nearest in
-// log-space (the paper's step-2 interpolation).
+// log-space (the paper's step-2 interpolation). The lookup binary-searches
+// a per-kind index of sampled-size boundaries and allocates nothing on the
+// hot path; it is byte-for-byte equivalent to the reference linear scan
+// (decideScan), which the differential tests pin.
 func (t *Table) Decide(kind coll.Kind, m int) han.Config {
+	idx := t.idx
+	if idx == nil || idx.n != len(t.Entries) {
+		idx = t.buildIndex()
+		t.idx = idx
+	}
+	ki := idx.kinds[kind]
+	if ki == nil {
+		return han.DefaultDecision(kind, m)
+	}
+	best := ki.lookup(m)
+	cfg := t.Entries[best].Cfg
+	// Clamp the segment size to the actual message.
+	if cfg.FS > m {
+		cfg.FS = m
+	}
+	return cfg
+}
+
+// lookup returns the winning entry index for a query of m bytes,
+// replicating the scan's selection rule: minimal |log2 m - log2 M|, ties
+// broken by the lowest entry index.
+func (ki *kindIndex) lookup(m int) int {
+	if m <= 0 || len(ki.bls) == 0 {
+		// Every distance is the same sentinel; the scan keeps the first
+		// entry of the kind.
+		return ki.firstAny
+	}
+	bl := bitLen(m)
+	// Hand-rolled lower bound: sort.SearchInts would pass a closure to
+	// sort.Search, and the hot path pins 0 allocs/op.
+	lo, hi := 0, len(ki.bls)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ki.bls[mid] < bl {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	pos := lo
+	if pos < len(ki.bls) && ki.bls[pos] == bl {
+		return ki.firstAt[pos] // exact class: distance 0, unbeatable
+	}
+	switch {
+	case pos == 0:
+		return ki.firstAt[0]
+	case pos == len(ki.bls):
+		return ki.firstAt[pos-1]
+	}
+	dlo := bl - ki.bls[pos-1]
+	dhi := ki.bls[pos] - bl
+	switch {
+	case dlo < dhi:
+		return ki.firstAt[pos-1]
+	case dhi < dlo:
+		return ki.firstAt[pos]
+	}
+	// Equidistant classes: the scan saw whichever entry came first.
+	if ki.firstAt[pos-1] < ki.firstAt[pos] {
+		return ki.firstAt[pos-1]
+	}
+	return ki.firstAt[pos]
+}
+
+// bitLen is floor(log2 v) for v >= 1 — the shift count logDist compares.
+func bitLen(v int) int {
+	n := 0
+	for ; v > 1; v >>= 1 {
+		n++
+	}
+	return n
+}
+
+// decideScan is the reference decision rule: the linear entry scan the
+// binary-search index replaced. It is kept as the oracle for the
+// differential tests (the same pattern as flow's reference allocator and
+// arena's reference pools).
+func (t *Table) decideScan(kind coll.Kind, m int) han.Config {
 	best := -1
 	bestDist := 0.0
 	for i, e := range t.Entries {
@@ -220,7 +360,6 @@ func (t *Table) Decide(kind coll.Kind, m int) han.Config {
 		return han.DefaultDecision(kind, m)
 	}
 	cfg := t.Entries[best].Cfg
-	// Clamp the segment size to the actual message.
 	if cfg.FS > m {
 		cfg.FS = m
 	}
@@ -269,5 +408,6 @@ func Load(path string) (*Table, error) {
 		return nil, fmt.Errorf("autotune: parse table %s: %w", path, err)
 	}
 	sort.SliceStable(t.Entries, func(i, j int) bool { return t.Entries[i].In.M < t.Entries[j].In.M })
+	t.BuildIndex()
 	return &t, nil
 }

@@ -78,6 +78,18 @@ func (f *Flight[K, V]) Do(key K, fn func() V) V {
 	return c.val
 }
 
+// Forget drops the cached computation for key, so the next Do performs a
+// fresh one. The serving layer calls it when a re-tune invalidates a
+// cached result, and to clear a poisoned entry (a computation that
+// panicked) before a retry. Requesters already blocked on the forgotten
+// call still receive its outcome — value or poison panic — Forget only
+// decouples future requesters. Forgetting a key with no entry is a no-op.
+func (f *Flight[K, V]) Forget(key K) {
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+}
+
 // Get returns the completed value for key, if any. It never blocks: a key
 // whose computation is still in flight reports false. Callers use it in
 // the serial merge phase, after every job has finished.
@@ -98,7 +110,8 @@ func (f *Flight[K, V]) Get(key K) (V, bool) {
 	}
 }
 
-// Len returns the number of distinct keys ever requested.
+// Len returns the number of cached keys (every key requested and not
+// since forgotten).
 func (f *Flight[K, V]) Len() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -123,6 +123,7 @@ func All() []*Analyzer {
 		ReqwaitAnalyzer,
 		TypederrAnalyzer,
 		EngineboundAnalyzer,
+		ServeboundAnalyzer,
 		PartitionboundAnalyzer,
 		ArenaallocAnalyzer,
 		DetflowAnalyzer,

@@ -37,17 +37,20 @@ func TestTypederr(t *testing.T) {
 	linttest.Run(t, lint.TypederrAnalyzer, "typederrfix")
 }
 
-// TestSimtimeScope pins the executor exemption: internal/exec is the one
-// package allowed to spawn host goroutines (the enginebound pass keeps it
-// away from engine state); everything else stays under the ban.
+// TestSimtimeScope pins the wall-clock exemptions: internal/exec (host
+// worker pool, fenced by enginebound) and internal/serve (decision
+// service, fenced by servebound) may spawn host goroutines; everything
+// else stays under the ban.
 func TestSimtimeScope(t *testing.T) {
 	applies := lint.SimtimeAnalyzer.AppliesTo
 	for path, want := range map[string]bool{
-		"github.com/hanrepro/han/internal/exec": false,
-		"internal/exec":                         false,
-		"github.com/hanrepro/han/internal/sim":  true,
-		"github.com/hanrepro/han/internal/mpi":  true,
-		"simtime":                               true,
+		"github.com/hanrepro/han/internal/exec":  false,
+		"internal/exec":                          false,
+		"github.com/hanrepro/han/internal/serve": false,
+		"internal/serve":                         false,
+		"github.com/hanrepro/han/internal/sim":   true,
+		"github.com/hanrepro/han/internal/mpi":   true,
+		"simtime":                                true,
 	} {
 		if got := applies(path); got != want {
 			t.Errorf("simtime.AppliesTo(%q) = %v, want %v", path, got, want)
@@ -103,6 +106,63 @@ var _ = sim.Time(0)
 	diags := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.EngineboundAnalyzer})
 	if len(diags) != 1 {
 		t.Fatalf("got %d diagnostics, want exactly 1 (sim banned, sync and metrics allowed): %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "internal/sim") {
+		t.Errorf("diagnostic does not name the banned import: %s", diags[0].Message)
+	}
+}
+
+// TestServeboundScope pins the serving fence's scoping: the internal/sim
+// import ban applies ONLY to internal/serve (and opt-in fixtures) — the
+// price of that package's simtime exemption, mirroring enginebound.
+func TestServeboundScope(t *testing.T) {
+	applies := lint.ServeboundAnalyzer.AppliesTo
+	for path, want := range map[string]bool{
+		"github.com/hanrepro/han/internal/serve": true,
+		"internal/serve":                         true,
+		"github.com/hanrepro/han/internal/sim":   false,
+		"github.com/hanrepro/han/internal/exec":  false,
+		"servebound":                             true,
+	} {
+		if got := applies(path); got != want {
+			t.Errorf("servebound.AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestServebound feeds the pass a synthetic serving file. Like
+// enginebound, the pass reads only the import table, so the package is
+// hand-built from a parse. serve's legitimate engine-adjacent imports
+// (autotune, han) stay allowed; only internal/sim trips the fence.
+func TestServebound(t *testing.T) {
+	const src = `package serve
+
+import (
+	"net"
+
+	"github.com/hanrepro/han/internal/autotune"
+	"github.com/hanrepro/han/internal/han"
+	"github.com/hanrepro/han/internal/sim"
+)
+
+var _ net.Conn
+var _ = autotune.Table{}
+var _ = han.Config{}
+var _ = sim.Time(0)
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "serve.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &lint.Package{
+		Path:  "github.com/hanrepro/han/internal/serve",
+		Fset:  fset,
+		Files: []*ast.File{f},
+	}
+	diags := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.ServeboundAnalyzer})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 (sim banned; net, autotune, han allowed): %v", len(diags), diags)
 	}
 	if !strings.Contains(diags[0].Message, "internal/sim") {
 		t.Errorf("diagnostic does not name the banned import: %s", diags[0].Message)

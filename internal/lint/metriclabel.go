@@ -16,12 +16,12 @@ import (
 // metric family is registered with exactly one label-key set across the
 // whole program (OpenMetrics forbids mixed label keys within a family,
 // and the exporter's canonical ordering relies on it), and every family
-// in the repository's mpi_*/han_*/exec_* namespaces appears in
+// in the repository's mpi_*/han_*/hand_*/exec_* namespaces appears in
 // docs/OBSERVABILITY.md, the observability contract.
 var MetriclabelAnalyzer = &Analyzer{
 	Name: "metriclabel",
 	Doc: "every metric family must be registered with exactly one label-key set " +
-		"program-wide, and mpi_*/han_*/exec_* families must be documented in " +
+		"program-wide, and mpi_*/han_*/hand_*/exec_* families must be documented in " +
 		"docs/OBSERVABILITY.md",
 	UsesFacts: true,
 	Run:       runMetriclabel,
@@ -35,7 +35,7 @@ type metricReg struct {
 	At     string   `json:"at"`               // file:line, for cross-package conflict messages
 }
 
-var ownedMetricName = regexp.MustCompile(`^(mpi|han|exec)_`)
+var ownedMetricName = regexp.MustCompile(`^(mpi|han|hand|exec)_`)
 
 func runMetriclabel(pass *Pass) {
 	info := pass.TypesInfo
@@ -133,7 +133,7 @@ func runMetriclabel(pass *Pass) {
 		}
 		if docFound && ownedMetricName.MatchString(r.Name) && !strings.Contains(doc, r.Name) {
 			pass.Reportf(s.pos.Pos(),
-				"metric %q is not documented in docs/OBSERVABILITY.md; every mpi_*/han_*/exec_* "+
+				"metric %q is not documented in docs/OBSERVABILITY.md; every mpi_*/han_*/hand_*/exec_* "+
 					"family is part of the observability contract", r.Name)
 		}
 	}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ServeboundAnalyzer forbids internal/serve from importing internal/sim.
+// serve is the repository's second simtime-exempt package (after
+// internal/exec): its goroutines are real and its clock is the host's,
+// which is safe only while they have no handle on a simulation engine.
+// serve legitimately depends on engine-using packages — autotune tables,
+// han configs, coll kinds — but those are data at serving time; a direct
+// import of internal/sim would hand its wall-clock goroutines the engine
+// vocabulary itself (Engine.Spawn, Engine.Run), dissolving the boundary
+// that justifies the exemption. Together with servebound's mirror image —
+// nothing forces sim code through serve — the fence keeps the wall-clock
+// subsystem strictly downstream of simulation results.
+var ServeboundAnalyzer = &Analyzer{
+	Name: "servebound",
+	Doc: "forbid internal/serve from importing internal/sim; the wall-clock " +
+		"serving layer consumes tuned tables as data and must never hold the " +
+		"simulation engine's vocabulary",
+	AppliesTo: serveboundApplies,
+	Run:       runServebound,
+}
+
+func serveboundApplies(pkgPath string) bool {
+	if pkgPath == "internal/serve" || strings.HasSuffix(pkgPath, "/internal/serve") {
+		return true
+	}
+	// Fixture packages opt in by name so the pass is testable.
+	return strings.HasPrefix(pathBase(pkgPath), "servebound")
+}
+
+func runServebound(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "internal/sim" || strings.HasSuffix(path, "/internal/sim") {
+				pass.Reportf(imp.Path.Pos(),
+					"the serving layer must stay engine-free: import of %s gives "+
+						"wall-clock goroutines the simulation engine's vocabulary; "+
+						"consume tuned tables as data instead", path)
+			}
+		}
+	}
+}

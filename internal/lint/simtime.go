@@ -35,13 +35,24 @@ var SimtimeAnalyzer = &Analyzer{
 	Run:       runSimtime,
 }
 
-// simtimeApplies exempts internal/exec, the one package allowed to spawn
-// host goroutines: its workers run measurement jobs as opaque closures,
-// and the enginebound pass keeps it from importing any engine-owning
-// package, so the exemption cannot leak host concurrency into simulation
-// state.
+// simtimeApplies exempts the two packages allowed to touch the host
+// clock and spawn host goroutines, each with a matching import fence
+// that keeps the exemption from leaking host concurrency into
+// simulation state:
+//
+//   - internal/exec: its workers run measurement jobs as opaque
+//     closures; the enginebound pass keeps it from importing any
+//     engine-owning package.
+//   - internal/serve: the wall-clock decision service; the servebound
+//     pass keeps it from importing internal/sim, so its goroutines can
+//     serve table snapshots but never drive an engine.
 func simtimeApplies(pkgPath string) bool {
-	return pkgPath != "internal/exec" && !strings.HasSuffix(pkgPath, "/internal/exec")
+	for _, exempt := range []string{"internal/exec", "internal/serve"} {
+		if pkgPath == exempt || strings.HasSuffix(pkgPath, "/"+exempt) {
+			return false
+		}
+	}
+	return true
 }
 
 func runSimtime(pass *Pass) {

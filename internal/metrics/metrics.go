@@ -272,6 +272,24 @@ func (h *Histogram) Observe(v float64) {
 	h.inf++
 }
 
+// ObserveN records n observations of value v in one call. The serving
+// layer uses it to replay its wall-clock-side atomic bucket counts into a
+// registry at export time (each bucket folded in at its upper bound).
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	h.count += n
+	h.sum += v * float64(n)
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i] += n
+			return
+		}
+	}
+	h.inf += n
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

@@ -1,0 +1,43 @@
+// Package serve is the tuning-decision service behind cmd/hand: a
+// long-running, wall-clock-concurrent server answering HAN's decision
+// function — (cluster, collective, message size) → module/segment choice —
+// at high QPS over immutable autotune.Table snapshots.
+//
+// The hot path is lock-free for readers. Tables live in power-of-two
+// shards keyed by (cluster, collective); each shard holds its current
+// table set behind an atomic.Pointer that publishers swap RCU-style
+// (copy the map, insert, store), so a reader's Decide never takes a lock
+// to find its snapshot and never observes a half-published table. In
+// front of the snapshot walk sits a bounded, sharded LRU of interpolated
+// decision points: a repeated query at any message size is one mutex-lite
+// shard-local map hit and allocates nothing. Cached points carry the
+// generation of the snapshot they were computed from, so a snapshot swap
+// invalidates them lazily — no eager cache walks, readers simply
+// recompute against the new table on first touch.
+//
+// Misses collapse through an exec.Flight: when a query names a cluster
+// with no published table, exactly one requester runs the configured
+// Tuner (an on-demand autotune sweep in cmd/hand) while concurrent
+// requesters block on its result; failed tunes are forgotten
+// (Flight.Forget) so a later request can retry. A background re-tuner
+// (StartRetuner) rebuilds every known table off the hot path and
+// publishes fresh snapshots atomically — readers are never blocked by a
+// re-tune, they just start seeing the new generation.
+//
+// This is the repository's first wall-clock subsystem: unlike everything
+// under internal/sim, serve's concurrency is real goroutines and its
+// clock is the host's. The boundary is fenced both ways — the servebound
+// lint pass forbids serve from importing internal/sim, and serve's
+// simtime exemption is scoped to exactly this package. Determinism here
+// means semantic determinism, not bit-replay: every Decide answer equals
+// the pure function of exactly one published table generation, which the
+// snapshot-swap race test pins under -race.
+//
+// Instrumentation is exported as the hand_* metric families
+// (docs/OBSERVABILITY.md): counters and latency histograms accumulate in
+// atomics on the hot path and are folded into an internal/metrics
+// registry by PublishMetrics at export time. The closed-loop load
+// harness (RunLoad, wired to hanbench -serve) measures end-to-end
+// QPS and latency percentiles against either an in-process client or a
+// real socket speaking the length-prefixed wire protocol (wire.go).
+package serve

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hanrepro/han/internal/autotune"
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/han"
+)
+
+// genTable builds a table whose every configuration encodes version v:
+// IBS carries v and IRS carries v*7+3, so a reader can tell which
+// published generation answered it and detect torn configs (an IBS from
+// one version paired with an IRS from another).
+func genTable(v uint64) *autotune.Table {
+	t := &autotune.Table{Machine: "race", Method: "handmade"}
+	for _, m := range []int{1 << 10, 1 << 14, 1 << 18, 1 << 22} {
+		t.Entries = append(t.Entries, autotune.Entry{
+			In: autotune.Input{N: 2, P: 2, M: m, T: coll.Bcast},
+			Cfg: han.Config{
+				FS: 1 << 30, IMod: "adapt", SMod: "sm",
+				IBAlg: coll.AlgBinary, IRAlg: coll.AlgBinary,
+				IBS: int(v), IRS: int(v*7 + 3),
+			},
+		})
+	}
+	return t
+}
+
+// TestSnapshotSwapRace is the serving layer's core consistency check,
+// meant to run under -race: readers hammer Decide while a publisher keeps
+// swapping snapshots. Every decision must be internally consistent (both
+// fields from one table version), must correspond to a version the
+// publisher had started publishing, and each reader's observed version
+// must never move backwards — the RCU contract: a decision reflects
+// exactly one published table generation, never a blend and never a
+// rollback past one already seen.
+func TestSnapshotSwapRace(t *testing.T) {
+	s := NewServer(Options{Shards: 4, LRUSize: 256})
+
+	// published tracks the highest version whose Publish has started; a
+	// reader may observe any v in [1, published] depending on timing, but
+	// never more.
+	var published atomic.Uint64
+	published.Store(1)
+	s.Publish("race", coll.Bcast, genTable(1))
+
+	const (
+		readers = 8
+		swaps   = 300
+		// 64 distinct query sizes: small enough that the LRU covers the
+		// whole working set, so the run exercises hits and staleness, not
+		// just misses.
+		queryMask = 0x3f
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			var lastSeen uint64
+			for seq := uint64(0); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := int(mix64(uint64(self)<<40|seq)&queryMask) + 1
+				cfg, err := s.Decide("race", coll.Bcast, m)
+				if err != nil {
+					t.Errorf("reader %d: Decide: %v", self, err)
+					return
+				}
+				v := uint64(cfg.IBS)
+				if uint64(cfg.IRS) != v*7+3 {
+					t.Errorf("reader %d: torn config: IBS=%d IRS=%d (want IRS=%d)",
+						self, cfg.IBS, cfg.IRS, v*7+3)
+					return
+				}
+				if hi := published.Load(); v < 1 || v > hi {
+					t.Errorf("reader %d: decision from unpublished version %d (published <= %d)",
+						self, v, hi)
+					return
+				}
+				if v < lastSeen {
+					t.Errorf("reader %d: version went backwards: %d after %d", self, v, lastSeen)
+					return
+				}
+				lastSeen = v
+			}
+		}(r)
+	}
+
+	for v := uint64(2); v <= swaps+1; v++ {
+		// Record the version as publishable *before* the swap so a reader
+		// that races ahead of this goroutine never flags a fresh version
+		// as unpublished.
+		published.Store(v)
+		s.Publish("race", coll.Bcast, genTable(v))
+		if v%16 == 0 {
+			time.Sleep(100 * time.Microsecond) // let readers catch hits between bursts
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	c := s.Counters()
+	if c.Decisions == 0 || c.CacheHits == 0 || c.CacheStale == 0 {
+		t.Fatalf("stress run did not exercise all paths: %+v", c)
+	}
+	// Final convergence: with swapping done, the latest version serves.
+	cfg, err := s.Decide("race", coll.Bcast, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(cfg.IBS) != swaps+1 {
+		t.Fatalf("post-swap decision from version %d, want %d", cfg.IBS, swaps+1)
+	}
+}
+
+// TestSnapshotSwapRaceWithRetuner runs the same readers against the real
+// background re-tuner instead of a hand-rolled publisher loop.
+func TestSnapshotSwapRaceWithRetuner(t *testing.T) {
+	var version atomic.Uint64
+	version.Store(1)
+	s := NewServer(Options{Shards: 2, LRUSize: 32, Tuner: func(cluster string) (*autotune.Table, error) {
+		return genTable(version.Add(1)), nil
+	}})
+	s.Publish("race", coll.Bcast, genTable(1))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			var lastSeen uint64
+			for seq := uint64(0); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cfg, err := s.Decide("race", coll.Bcast, int(mix64(uint64(self)<<40|seq)&0xff)+1)
+				if err != nil {
+					t.Errorf("reader %d: %v", self, err)
+					return
+				}
+				v := uint64(cfg.IBS)
+				if uint64(cfg.IRS) != v*7+3 {
+					t.Errorf("reader %d: torn config IBS=%d IRS=%d", self, cfg.IBS, cfg.IRS)
+					return
+				}
+				// version is bumped before the table is built, so the
+				// published ceiling is version's current value.
+				if hi := version.Load(); v > hi {
+					t.Errorf("reader %d: version %d beyond tuner ceiling %d", self, v, hi)
+					return
+				}
+				if v < lastSeen {
+					t.Errorf("reader %d: version went backwards: %d after %d", self, v, lastSeen)
+					return
+				}
+				lastSeen = v
+			}
+		}(r)
+	}
+
+	stopRetuner := s.StartRetuner(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Counters().Retunes < 20 {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stopRetuner()
+	close(stop)
+	wg.Wait()
+
+	if got := s.Counters().Retunes; got < 20 {
+		t.Fatalf("re-tuner completed %d rounds in 2s, want >= 20", got)
+	}
+}

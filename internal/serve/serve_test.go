@@ -1,0 +1,433 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hanrepro/han/internal/autotune"
+	"github.com/hanrepro/han/internal/coll"
+	"github.com/hanrepro/han/internal/han"
+	"github.com/hanrepro/han/internal/metrics"
+)
+
+// tinyTable builds a hand-written decision table with three sampled sizes
+// per kind. fs lets tests distinguish table versions by their decisions.
+func tinyTable(fs int, kinds ...coll.Kind) *autotune.Table {
+	t := &autotune.Table{Machine: "test", Method: "handmade"}
+	for _, k := range kinds {
+		for _, m := range []int{1 << 10, 1 << 16, 1 << 20} {
+			t.Entries = append(t.Entries, autotune.Entry{
+				In: autotune.Input{N: 2, P: 2, M: m, T: k},
+				Cfg: han.Config{
+					FS: fs, IMod: "adapt", SMod: "sm",
+					IBAlg: coll.AlgBinary, IRAlg: coll.AlgBinary,
+					IBS: 1 << 12, IRS: 1 << 12,
+				},
+			})
+		}
+	}
+	return t
+}
+
+func TestServerPublishDecide(t *testing.T) {
+	s := NewServer(Options{})
+	table := tinyTable(1<<20, coll.Bcast)
+	gen := s.Publish("mini", coll.Bcast, table)
+	if gen == 0 {
+		t.Fatal("Publish returned generation 0")
+	}
+	for _, m := range []int{512, 1 << 10, 3 << 10, 1 << 19, 1 << 22} {
+		got, err := s.Decide("mini", coll.Bcast, m)
+		if err != nil {
+			t.Fatalf("Decide(%d): %v", m, err)
+		}
+		if want := table.Decide(coll.Bcast, m); got != want {
+			t.Fatalf("Decide(%d) = %+v, want table decision %+v", m, got, want)
+		}
+	}
+	if _, err := s.Decide("nowhere", coll.Bcast, 1024); err == nil {
+		t.Fatal("Decide on unknown cluster with no tuner succeeded")
+	} else {
+		var ue *UnknownTableError
+		if !errors.As(err, &ue) {
+			t.Fatalf("unknown-cluster error is %T, want *UnknownTableError", err)
+		}
+	}
+	if n := s.TableCount(); n != 1 {
+		t.Fatalf("TableCount = %d, want 1", n)
+	}
+}
+
+func TestServerCacheHitsAndStaleness(t *testing.T) {
+	s := NewServer(Options{Shards: 1, LRUSize: 8})
+	s.Publish("mini", coll.Bcast, tinyTable(1<<20, coll.Bcast))
+
+	// Query above both tables' segment sizes so the FS clamp (fs = min(fs,
+	// m)) never masks which table answered.
+	const m = 1 << 22
+	first, _ := s.Decide("mini", coll.Bcast, m)
+	second, _ := s.Decide("mini", coll.Bcast, m)
+	if first != second {
+		t.Fatalf("cached decision %+v != computed %+v", second, first)
+	}
+	c := s.Counters()
+	if c.CacheMisses != 1 || c.CacheHits != 1 {
+		t.Fatalf("misses=%d hits=%d, want 1/1", c.CacheMisses, c.CacheHits)
+	}
+
+	// Republish: the cached point's generation no longer matches, so the
+	// next query recomputes against the new table (lazy invalidation).
+	s.Publish("mini", coll.Bcast, tinyTable(1<<16, coll.Bcast))
+	after, _ := s.Decide("mini", coll.Bcast, m)
+	if after.FS == first.FS {
+		t.Fatalf("decision after republish still from old table: %+v", after)
+	}
+	c = s.Counters()
+	if c.CacheStale != 1 {
+		t.Fatalf("CacheStale = %d, want 1", c.CacheStale)
+	}
+	// And the refreshed entry serves hits again.
+	again, _ := s.Decide("mini", coll.Bcast, m)
+	if again != after {
+		t.Fatalf("post-refresh decision changed: %+v vs %+v", again, after)
+	}
+	if c2 := s.Counters(); c2.CacheHits != c.CacheHits+1 {
+		t.Fatalf("CacheHits = %d, want %d", c2.CacheHits, c.CacheHits+1)
+	}
+}
+
+func TestServerCacheEviction(t *testing.T) {
+	s := NewServer(Options{Shards: 1, LRUSize: 4})
+	s.Publish("mini", coll.Bcast, tinyTable(1<<20, coll.Bcast))
+	for m := 1; m <= 10; m++ {
+		if _, err := s.Decide("mini", coll.Bcast, m*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.Counters()
+	if c.Evictions != 6 {
+		t.Fatalf("Evictions = %d, want 6 (10 points into a 4-entry LRU)", c.Evictions)
+	}
+	// The most recent point is still cached.
+	s.Decide("mini", coll.Bcast, 10*1024)
+	if c2 := s.Counters(); c2.CacheHits != c.CacheHits+1 {
+		t.Fatalf("MRU point missed: hits %d, want %d", c2.CacheHits, c.CacheHits+1)
+	}
+}
+
+func TestServerOnDemandTune(t *testing.T) {
+	var tunes int
+	s := NewServer(Options{Tuner: func(cluster string) (*autotune.Table, error) {
+		tunes++
+		return tinyTable(1<<20, coll.Bcast, coll.Allreduce), nil
+	}})
+	cfg, err := s.Decide("fresh", coll.Bcast, 4096)
+	if err != nil {
+		t.Fatalf("on-demand Decide: %v", err)
+	}
+	if cfg.IMod != "adapt" {
+		t.Fatalf("on-demand decision = %+v", cfg)
+	}
+	// The snapshot is published: the next query needs no tune.
+	if _, err := s.Decide("fresh", coll.Bcast, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if tunes != 1 {
+		t.Fatalf("tuner ran %d times, want 1", tunes)
+	}
+	// A different kind for the same cluster is a separate key → new tune.
+	if _, err := s.Decide("fresh", coll.Allreduce, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if tunes != 2 {
+		t.Fatalf("tuner ran %d times, want 2", tunes)
+	}
+}
+
+func TestServerTuneCollapse(t *testing.T) {
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	var mu sync.Mutex
+	tunes := 0
+	s := NewServer(Options{Tuner: func(cluster string) (*autotune.Table, error) {
+		mu.Lock()
+		tunes++
+		mu.Unlock()
+		once.Do(func() { close(started) })
+		<-gate
+		return tinyTable(1<<20, coll.Bcast), nil
+	}})
+	const requesters = 6
+	results := make([]han.Config, requesters)
+	var wg sync.WaitGroup
+	for i := 0; i < requesters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg, err := s.Decide("cold", coll.Bcast, 4096)
+			if err != nil {
+				t.Errorf("requester %d: %v", i, err)
+			}
+			results[i] = cfg
+		}(i)
+	}
+	<-started
+	// Give the other requesters a beat to pile onto the in-flight tune,
+	// then release it. Even if some arrive after publication they hit the
+	// shard map, never a second tune.
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if tunes != 1 {
+		t.Fatalf("tuner ran %d times under concurrent misses, want 1", tunes)
+	}
+	for i := 1; i < requesters; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("requester %d got %+v, requester 0 got %+v", i, results[i], results[0])
+		}
+	}
+}
+
+func TestServerTuneErrorRetry(t *testing.T) {
+	calls := 0
+	s := NewServer(Options{Tuner: func(cluster string) (*autotune.Table, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("transient sweep failure")
+		}
+		return tinyTable(1<<20, coll.Bcast), nil
+	}})
+	_, err := s.Decide("flaky", coll.Bcast, 4096)
+	if err == nil {
+		t.Fatal("first Decide succeeded despite tuner error")
+	}
+	var ue *UnknownTableError
+	if !errors.As(err, &ue) || ue.Cause == nil {
+		t.Fatalf("error = %v, want *UnknownTableError with cause", err)
+	}
+	// The failed flight entry was forgotten: the retry tunes afresh.
+	if _, err := s.Decide("flaky", coll.Bcast, 4096); err != nil {
+		t.Fatalf("retry after tuner failure: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("tuner called %d times, want 2", calls)
+	}
+	c := s.Counters()
+	if c.TuneErrors != 1 || c.Tunes != 2 {
+		t.Fatalf("TuneErrors=%d Tunes=%d, want 1/2", c.TuneErrors, c.Tunes)
+	}
+}
+
+func TestServerRetune(t *testing.T) {
+	version := 0
+	s := NewServer(Options{Tuner: func(cluster string) (*autotune.Table, error) {
+		version++
+		return tinyTable(version<<16, coll.Bcast, coll.Allreduce), nil
+	}})
+	s.PublishTable("a", tinyTable(1<<10, coll.Bcast, coll.Allreduce))
+	s.PublishTable("b", tinyTable(1<<10, coll.Bcast))
+	genBefore := s.Generation()
+
+	n, err := s.Retune()
+	if err != nil {
+		t.Fatalf("Retune: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("Retune republished %d snapshots, want 3 (a/Bcast a/Allreduce b/Bcast)", n)
+	}
+	if version != 2 {
+		t.Fatalf("tuner ran %d times, want 2 (once per cluster)", version)
+	}
+	if s.Generation() <= genBefore {
+		t.Fatal("Retune did not advance the generation")
+	}
+	cfg, err := s.Decide("a", coll.Bcast, 1<<19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FS == 1<<10 {
+		t.Fatalf("Decide still served the pre-retune table: %+v", cfg)
+	}
+	keys := s.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("Keys = %v, want 3 entries", keys)
+	}
+}
+
+func TestServerRetuneErrorKeepsServing(t *testing.T) {
+	fail := false
+	s := NewServer(Options{Tuner: func(cluster string) (*autotune.Table, error) {
+		if fail {
+			return nil, fmt.Errorf("sweep machine unavailable")
+		}
+		return tinyTable(1<<20, coll.Bcast), nil
+	}})
+	s.Publish("a", coll.Bcast, tinyTable(1<<20, coll.Bcast))
+	want, _ := s.Decide("a", coll.Bcast, 4096)
+
+	fail = true
+	if _, err := s.Retune(); err == nil {
+		t.Fatal("Retune with failing tuner reported no error")
+	}
+	got, err := s.Decide("a", coll.Bcast, 4096)
+	if err != nil || got != want {
+		t.Fatalf("previous snapshot not serving after failed retune: %+v, %v", got, err)
+	}
+}
+
+func TestServerPublishTableSplitsKinds(t *testing.T) {
+	s := NewServer(Options{})
+	keys := s.PublishTable("mini", tinyTable(1<<20, coll.Allreduce, coll.Bcast))
+	if len(keys) != 2 || keys[0].Kind != coll.Bcast || keys[1].Kind != coll.Allreduce {
+		t.Fatalf("PublishTable keys = %v, want [mini/bcast mini/allreduce]", keys)
+	}
+	if s.TableCount() != 2 {
+		t.Fatalf("TableCount = %d, want 2", s.TableCount())
+	}
+}
+
+func TestServerStartRetuner(t *testing.T) {
+	version := 0
+	var mu sync.Mutex
+	s := NewServer(Options{Tuner: func(cluster string) (*autotune.Table, error) {
+		mu.Lock()
+		version++
+		v := version
+		mu.Unlock()
+		return tinyTable(v<<16, coll.Bcast), nil
+	}})
+	s.Publish("a", coll.Bcast, tinyTable(1<<10, coll.Bcast))
+	stop := s.StartRetuner(2 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Counters().Retunes < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("re-tuner did not complete two rounds in 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	after := s.Counters().Retunes
+	time.Sleep(10 * time.Millisecond)
+	if got := s.Counters().Retunes; got != after {
+		t.Fatalf("re-tuner still running after stop: %d rounds, was %d", got, after)
+	}
+}
+
+func TestServerDecideZeroAllocWarm(t *testing.T) {
+	s := NewServer(Options{})
+	s.Publish("mini", coll.Bcast, tinyTable(1<<20, coll.Bcast))
+	if _, err := s.Decide("mini", coll.Bcast, 4096); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.Decide("mini", coll.Bcast, 4096); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Decide allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestServerPublishMetrics(t *testing.T) {
+	s := NewServer(Options{})
+	s.Publish("mini", coll.Bcast, tinyTable(1<<20, coll.Bcast))
+	s.Decide("mini", coll.Bcast, 4096)
+	s.Decide("mini", coll.Bcast, 4096)
+	s.Decide("nowhere", coll.Bcast, 4096) // UnknownTableError
+
+	reg := metrics.New()
+	s.PublishMetrics(reg)
+	fams := map[string]bool{}
+	for _, f := range reg.Families() {
+		fams[f] = true
+	}
+	for _, want := range []string{
+		"hand_decisions", "hand_cache_hits", "hand_cache_misses",
+		"hand_cache_stale", "hand_cache_evictions", "hand_table_misses",
+		"hand_flights", "hand_tunes", "hand_tune_errors",
+		"hand_snapshot_swaps", "hand_retunes", "hand_wire_requests",
+		"hand_wire_errors", "hand_tables", "hand_decide_latency_seconds",
+	} {
+		if !fams[want] {
+			t.Fatalf("PublishMetrics missing family %s (got %v)", want, reg.Families())
+		}
+	}
+	if v := reg.Counter(metrics.Opts{Name: "hand_decisions"}).Value(); v != 3 {
+		t.Fatalf("hand_decisions = %v, want 3", v)
+	}
+	if v := reg.Gauge(metrics.Opts{Name: "hand_tables"}).Value(); v != 1 {
+		t.Fatalf("hand_tables = %v, want 1", v)
+	}
+	h := reg.Histogram(metrics.Opts{Name: "hand_decide_latency_seconds"}, latBuckets)
+	if h.Count() != 3 {
+		t.Fatalf("latency histogram count = %d, want 3", h.Count())
+	}
+}
+
+func TestLatHistQuantile(t *testing.T) {
+	h := &latHist{}
+	for i := 0; i < 99; i++ {
+		h.observe(300 * time.Nanosecond) // bucket ≤500ns
+	}
+	h.observe(100 * time.Millisecond) // overflow bucket
+	if p50 := h.quantile(0.50); p50 != 500*time.Nanosecond {
+		t.Fatalf("p50 = %s, want 500ns", p50)
+	}
+	if p99 := h.quantile(0.99); p99 != 500*time.Nanosecond {
+		t.Fatalf("p99 = %s, want 500ns (99/100 observations at 300ns)", p99)
+	}
+	if p100 := h.quantile(1.0); p100 < 8*time.Millisecond {
+		t.Fatalf("p100 = %s, want the overflow estimate", p100)
+	}
+}
+
+func TestRunLoadLoopback(t *testing.T) {
+	s := NewServer(Options{})
+	s.PublishTable("mini", tinyTable(1<<20, coll.Bcast, coll.Allreduce))
+	rep, err := RunLoad(LoadOpts{
+		Clients:   2,
+		Duration:  50 * time.Millisecond,
+		Clusters:  []string{"mini"},
+		NewClient: func() (*Client, error) { return NewLocalClient(s), nil },
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("load run issued no requests")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("load run saw %d errors", rep.Errors)
+	}
+	if rep.QPS <= 0 || rep.P99 <= 0 {
+		t.Fatalf("report not populated: %s", rep)
+	}
+}
+
+func TestRunLoadPaced(t *testing.T) {
+	s := NewServer(Options{})
+	s.PublishTable("mini", tinyTable(1<<20, coll.Bcast, coll.Allreduce))
+	rep, err := RunLoad(LoadOpts{
+		Clients:   2,
+		QPS:       200,
+		Duration:  250 * time.Millisecond,
+		Clusters:  []string{"mini"},
+		NewClient: func() (*Client, error) { return NewLocalClient(s), nil },
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	// Pacing is approximate; a closed loop at 200 QPS for 250ms must stay
+	// well under the unthrottled rate (hundreds of thousands).
+	if rep.Requests == 0 || rep.Requests > 150 {
+		t.Fatalf("paced run issued %d requests, want ~50", rep.Requests)
+	}
+}
