@@ -234,6 +234,18 @@ func (t *Table) BuildIndex() {
 	t.idx = t.buildIndex()
 }
 
+// EnsureIndex builds the decision index only if it is missing or stale
+// (entries appended since the last build). Unlike BuildIndex it never
+// rewrites a current index, so a publisher that installs one table under
+// several keys can make it visible to concurrent Decide readers after the
+// first call and still invoke EnsureIndex before each later install
+// without racing them. Callers must serialize EnsureIndex calls.
+func (t *Table) EnsureIndex() {
+	if t.idx == nil || t.idx.n != len(t.Entries) {
+		t.idx = t.buildIndex()
+	}
+}
+
 func (t *Table) buildIndex() *decideIndex {
 	idx := &decideIndex{n: len(t.Entries), kinds: make(map[coll.Kind]*kindIndex)}
 	for i, e := range t.Entries {

@@ -23,9 +23,10 @@ type LoadOpts struct {
 	Clusters []string
 	// Kinds is the collective mix. Empty means {Bcast, Allreduce}.
 	Kinds []coll.Kind
-	// Sizes is the message-size mix. Empty means a 64-point sweep of
-	// 1KiB..64MiB — wide enough to exercise interpolation, small enough
-	// that a warm LRU serves every point.
+	// Sizes is the message-size mix. Empty means a 64-point sweep from
+	// 1KiB to 56MiB: sixteen power-of-two bases (1KiB..32MiB), each with
+	// four quarter steps — wide enough to exercise interpolation, small
+	// enough that a warm LRU serves every point.
 	Sizes []int
 	// NewClient builds one transport per worker (loopback or socket).
 	// Required.
@@ -89,8 +90,8 @@ func RunLoad(o LoadOpts) (LoadReport, error) {
 	if len(sizes) == 0 {
 		sizes = make([]int, 64)
 		for i := range sizes {
-			base := 1024 << (uint(i) / 4) // 16 octaves, 1KiB..32MiB
-			sizes[i] = base + base/4*(i%4)
+			base := 1024 << (uint(i) / 4) // 16 power-of-two bases, 1KiB..32MiB
+			sizes[i] = base + base/4*(i%4) // quarter steps; tops out at 56MiB
 		}
 	}
 	// Pacing: with a QPS target each worker owns an equal slice of the

@@ -15,17 +15,22 @@ import (
 // IBS carries v and IRS carries v*7+3, so a reader can tell which
 // published generation answered it and detect torn configs (an IBS from
 // one version paired with an IRS from another).
-func genTable(v uint64) *autotune.Table {
+func genTable(v uint64, kinds ...coll.Kind) *autotune.Table {
+	if len(kinds) == 0 {
+		kinds = []coll.Kind{coll.Bcast}
+	}
 	t := &autotune.Table{Machine: "race", Method: "handmade"}
-	for _, m := range []int{1 << 10, 1 << 14, 1 << 18, 1 << 22} {
-		t.Entries = append(t.Entries, autotune.Entry{
-			In: autotune.Input{N: 2, P: 2, M: m, T: coll.Bcast},
-			Cfg: han.Config{
-				FS: 1 << 30, IMod: "adapt", SMod: "sm",
-				IBAlg: coll.AlgBinary, IRAlg: coll.AlgBinary,
-				IBS: int(v), IRS: int(v*7 + 3),
-			},
-		})
+	for _, kind := range kinds {
+		for _, m := range []int{1 << 10, 1 << 14, 1 << 18, 1 << 22} {
+			t.Entries = append(t.Entries, autotune.Entry{
+				In: autotune.Input{N: 2, P: 2, M: m, T: kind},
+				Cfg: han.Config{
+					FS: 1 << 30, IMod: "adapt", SMod: "sm",
+					IBAlg: coll.AlgBinary, IRAlg: coll.AlgBinary,
+					IBS: int(v), IRS: int(v*7 + 3),
+				},
+			})
+		}
 	}
 	return t
 }
@@ -123,15 +128,37 @@ func TestSnapshotSwapRace(t *testing.T) {
 	}
 }
 
-// TestSnapshotSwapRaceWithRetuner runs the same readers against the real
-// background re-tuner instead of a hand-rolled publisher loop.
-func TestSnapshotSwapRaceWithRetuner(t *testing.T) {
-	var version atomic.Uint64
-	version.Store(1)
-	s := NewServer(Options{Shards: 2, LRUSize: 32, Tuner: func(cluster string) (*autotune.Table, error) {
-		return genTable(version.Add(1)), nil
-	}})
-	s.Publish("race", coll.Bcast, genTable(1))
+// TestMultiKindPublishRace publishes one *Table under several kinds while
+// readers hammer the kind installed first: the decision index must be
+// built exactly once, before the table is first reader-visible — a
+// rebuild on the later installs would write Table.idx under concurrent
+// lock-free Decide calls. (PublishTable, Retune, and the on-demand miss
+// path all install multi-kind tables; this is their -race coverage.)
+//
+// The test's shape is deliberate. Readers query ONLY the first-published
+// kind (Bcast — PublishTable installs kinds in sorted order): a query for
+// the other kind would acquire that shard's snapshot store, which
+// happens-after the second index build, handing the reader a
+// happens-before edge that hides the racy write from the detector. For
+// the same reason the two kinds must land on different shards — on a
+// shared shard the second install's store orders every later reader
+// acquire after the rebuild. The publisher sleeps between rounds so
+// readers drain their stale-recompute index walks while the racy table
+// is still current.
+func TestMultiKindPublishRace(t *testing.T) {
+	s := NewServer(Options{Shards: 4, LRUSize: 256})
+	kinds := []coll.Kind{coll.Bcast, coll.Allreduce}
+	cluster := ""
+	for _, c := range []string{"race", "race-b", "race-c", "race-d", "race-e", "race-f"} {
+		if hashKey(Key{c, kinds[0]})&s.mask != hashKey(Key{c, kinds[1]})&s.mask {
+			cluster = c
+			break
+		}
+	}
+	if cluster == "" {
+		t.Fatal("no candidate cluster name maps the two kinds to different shards")
+	}
+	s.PublishTable(cluster, genTable(1, kinds...))
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -139,14 +166,65 @@ func TestSnapshotSwapRaceWithRetuner(t *testing.T) {
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
-			var lastSeen uint64
 			for seq := uint64(0); ; seq++ {
 				select {
 				case <-stop:
 					return
 				default:
 				}
-				cfg, err := s.Decide("race", coll.Bcast, int(mix64(uint64(self)<<40|seq)&0xff)+1)
+				h := mix64(uint64(self)<<40 | seq)
+				cfg, err := s.Decide(cluster, kinds[0], int(h>>8&0x3f)+1)
+				if err != nil {
+					t.Errorf("reader %d: Decide: %v", self, err)
+					return
+				}
+				if v := uint64(cfg.IBS); uint64(cfg.IRS) != v*7+3 {
+					t.Errorf("reader %d: torn config IBS=%d IRS=%d", self, cfg.IBS, cfg.IRS)
+					return
+				}
+			}
+		}(r)
+	}
+	for v := uint64(2); v <= 100; v++ {
+		s.PublishTable(cluster, genTable(v, kinds...))
+		time.Sleep(200 * time.Microsecond) // let readers walk the fresh index
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotSwapRaceWithRetuner runs the same readers against the real
+// background re-tuner instead of a hand-rolled publisher loop.
+func TestSnapshotSwapRaceWithRetuner(t *testing.T) {
+	var version atomic.Uint64
+	version.Store(1)
+	// Multi-kind tables: each Retune round installs one *Table under both
+	// kinds, the production shape of the index-build-before-visibility rule.
+	kinds := []coll.Kind{coll.Bcast, coll.Allreduce}
+	s := NewServer(Options{Shards: 2, LRUSize: 32, Tuner: func(cluster string) (*autotune.Table, error) {
+		return genTable(version.Add(1), kinds...), nil
+	}})
+	s.PublishTable("race", genTable(1, kinds...))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			// No-rollback is a per-key guarantee: mid-retune, one kind has
+			// swapped to the new table while the other still serves the old
+			// one, so lastSeen tracks each kind separately.
+			lastSeen := [2]uint64{}
+			for seq := uint64(0); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h := mix64(uint64(self)<<40 | seq)
+				ki := int(h & 1)
+				cfg, err := s.Decide("race", kinds[ki], int(h>>8&0xff)+1)
 				if err != nil {
 					t.Errorf("reader %d: %v", self, err)
 					return
@@ -162,11 +240,12 @@ func TestSnapshotSwapRaceWithRetuner(t *testing.T) {
 					t.Errorf("reader %d: version %d beyond tuner ceiling %d", self, v, hi)
 					return
 				}
-				if v < lastSeen {
-					t.Errorf("reader %d: version went backwards: %d after %d", self, v, lastSeen)
+				if v < lastSeen[ki] {
+					t.Errorf("reader %d: %s version went backwards: %d after %d",
+						self, kinds[ki], v, lastSeen[ki])
 					return
 				}
-				lastSeen = v
+				lastSeen[ki] = v
 			}
 		}(r)
 	}

@@ -138,12 +138,43 @@ func TestServerOnDemandTune(t *testing.T) {
 	if tunes != 1 {
 		t.Fatalf("tuner ran %d times, want 1", tunes)
 	}
-	// A different kind for the same cluster is a separate key → new tune.
+	// One sweep covers every collective in the tuned table: the cluster's
+	// other kind serves from the same publication, no second tune.
 	if _, err := s.Decide("fresh", coll.Allreduce, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if tunes != 1 {
+		t.Fatalf("tuner ran %d times after other-kind query, want 1", tunes)
+	}
+	if n := s.TableCount(); n != 2 {
+		t.Fatalf("TableCount = %d, want 2 (one snapshot per tuned kind)", n)
+	}
+	// A different cluster is genuinely unknown → new tune.
+	if _, err := s.Decide("other", coll.Bcast, 4096); err != nil {
 		t.Fatal(err)
 	}
 	if tunes != 2 {
 		t.Fatalf("tuner ran %d times, want 2", tunes)
+	}
+}
+
+func TestServerOnDemandTuneMissingKind(t *testing.T) {
+	// The sweep yields only Bcast entries; an Allreduce query must still
+	// publish a snapshot under the queried kind (serving the default
+	// decision) rather than re-tune on every query.
+	tunes := 0
+	s := NewServer(Options{Tuner: func(cluster string) (*autotune.Table, error) {
+		tunes++
+		return tinyTable(1<<20, coll.Bcast), nil
+	}})
+	if _, err := s.Decide("fresh", coll.Allreduce, 4096); err != nil {
+		t.Fatalf("Decide for untuned kind: %v", err)
+	}
+	if _, err := s.Decide("fresh", coll.Allreduce, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if tunes != 1 {
+		t.Fatalf("tuner ran %d times, want 1", tunes)
 	}
 }
 

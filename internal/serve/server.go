@@ -190,6 +190,10 @@ type Server struct {
 
 	flight *exec.Flight[Key, tuneOutcome]
 
+	// conns tracks open wire connections (wire.go) so Start's stop can
+	// disconnect idle clients instead of waiting for them to hang up.
+	conns connSet
+
 	c counters
 }
 
@@ -256,12 +260,16 @@ func (s *Server) snapshot(k Key) *Snapshot {
 // Publish atomically installs table as the new snapshot for (cluster,
 // kind) and returns its generation. The table must not be mutated
 // afterwards; Publish builds its decision index so concurrent Decide
-// calls are safe and allocation-free.
+// calls are safe and allocation-free. The index is built at most once per
+// table, under the publisher mutex and before the table is first visible:
+// PublishTable and Retune install the same *Table under several kinds,
+// and rebuilding on the second install would race lock-free readers
+// already decided against the first.
 func (s *Server) Publish(cluster string, kind coll.Kind, table *autotune.Table) uint64 {
-	table.BuildIndex()
 	k := Key{Cluster: cluster, Kind: kind}
 	sh := s.shardFor(k)
 	s.pubMu.Lock()
+	table.EnsureIndex()
 	snap := &Snapshot{Table: table, Gen: s.gen.Add(1)}
 	old := sh.tables.Load()
 	nm := make(tableMap, len(*old)+1)
@@ -363,7 +371,9 @@ func (s *Server) Decide(cluster string, kind coll.Kind, m int) (han.Config, erro
 
 // miss resolves a query for an unpublished key: the configured tuner runs
 // under single-flight collapse, publishes on success, and is forgotten on
-// failure so a later request can retry.
+// failure so a later request can retry. The tuned table publishes under
+// every kind it has entries for (a tune sweeps all collectives, so the
+// cluster's other kinds must not trigger a second full sweep).
 func (s *Server) miss(k Key) (*Snapshot, error) {
 	s.c.tableMisses.Add(1)
 	first := false
@@ -378,8 +388,16 @@ func (s *Server) miss(k Key) (*Snapshot, error) {
 			s.c.tuneErrors.Add(1)
 			return tuneOutcome{err: &UnknownTableError{Key: k, Cause: err}}
 		}
-		s.Publish(k.Cluster, k.Kind, table)
-		return tuneOutcome{snap: s.snapshot(k)}
+		s.PublishTable(k.Cluster, table)
+		snap := s.snapshot(k)
+		if snap == nil {
+			// The sweep produced no entries for the queried kind; publish
+			// under it anyway so the default decision serves from the
+			// snapshot map instead of re-tuning on every query.
+			s.Publish(k.Cluster, k.Kind, table)
+			snap = s.snapshot(k)
+		}
+		return tuneOutcome{snap: snap}
 	})
 	if !first {
 		s.c.flights.Add(1)

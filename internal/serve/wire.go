@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 
@@ -73,6 +74,10 @@ func parseRequest(p []byte) (request, error) {
 	}
 	kind := coll.Kind(p[2])
 	m := binary.BigEndian.Uint64(p[3:11])
+	if m > uint64(math.MaxInt) {
+		// int(m) would wrap negative and flow a nonsense size into Decide.
+		return request{}, fmt.Errorf("serve: message size %d out of range", m)
+	}
 	clen := int(binary.BigEndian.Uint16(p[11:13]))
 	if len(p) != 13+clen {
 		return request{}, fmt.Errorf("serve: request length %d does not match cluster length %d", len(p), clen)
@@ -172,6 +177,51 @@ func readFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
 	return buf, buf, nil
 }
 
+// connSet tracks a server's open wire connections. serveConn parks in
+// readFrame until the peer sends or the connection closes, so a graceful
+// shutdown must actively disconnect idle clients — otherwise Serve's
+// wg.Wait() would block until every peer hangs up on its own.
+type connSet struct {
+	mu      sync.Mutex
+	open    map[net.Conn]struct{}
+	closing bool
+}
+
+// add registers conn, or closes it immediately (reporting false) when the
+// server is already shutting down — covering a connection accepted just
+// before the listener closed.
+func (cs *connSet) add(conn net.Conn) bool {
+	cs.mu.Lock()
+	if cs.closing {
+		cs.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	if cs.open == nil {
+		cs.open = make(map[net.Conn]struct{})
+	}
+	cs.open[conn] = struct{}{}
+	cs.mu.Unlock()
+	return true
+}
+
+func (cs *connSet) remove(conn net.Conn) {
+	cs.mu.Lock()
+	delete(cs.open, conn)
+	cs.mu.Unlock()
+}
+
+// closeAll marks the set closing and closes every open connection,
+// unblocking their serveConn loops. Later adds are refused.
+func (cs *connSet) closeAll() {
+	cs.mu.Lock()
+	cs.closing = true
+	for c := range cs.open {
+		c.Close()
+	}
+	cs.mu.Unlock()
+}
+
 // Serve accepts connections on l and answers decide frames until l is
 // closed, whereupon it returns. Each connection is handled on its own
 // goroutine; per-connection errors (bad frames, remote hangups) close
@@ -194,8 +244,10 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // Start serves l on a background goroutine and returns immediately. The
-// returned stop function closes the listener and waits for Serve (and all
-// connection handlers) to wind down.
+// returned stop function closes the listener and every open connection
+// (clients parked between requests do not stall shutdown), then waits for
+// Serve and all connection handlers to wind down. After stop, the server
+// refuses new wire connections.
 func (s *Server) Start(l net.Listener) (stop func()) {
 	done := make(chan struct{})
 	go func() {
@@ -206,6 +258,7 @@ func (s *Server) Start(l net.Listener) (stop func()) {
 	return func() {
 		once.Do(func() {
 			_ = l.Close()
+			s.conns.closeAll()
 			<-done
 		})
 	}
@@ -213,6 +266,10 @@ func (s *Server) Start(l net.Listener) (stop func()) {
 
 // serveConn runs one connection's request loop.
 func (s *Server) serveConn(conn net.Conn) {
+	if !s.conns.add(conn) {
+		return
+	}
+	defer s.conns.remove(conn)
 	defer conn.Close()
 	var rbuf, wbuf []byte
 	for {

@@ -71,6 +71,17 @@ func TestWireParseRejectsCorruptFrames(t *testing.T) {
 	}
 }
 
+func TestWireParseRejectsOversizedM(t *testing.T) {
+	frame := appendRequest(nil, request{Cluster: "mini", Kind: coll.Bcast, M: 1})
+	payload := frame[4:]
+	// A size above MaxInt would wrap int(m) negative and flow a nonsense
+	// message size into Decide.
+	binary.BigEndian.PutUint64(payload[3:11], 1<<63)
+	if _, err := parseRequest(payload); err == nil {
+		t.Fatal("parseRequest accepted a size that overflows int")
+	}
+}
+
 // startWireServer publishes a table, listens on loopback, and hands the
 // test a dial address plus cleanup.
 func startWireServer(t *testing.T) (*Server, string) {
@@ -141,6 +152,37 @@ func TestWireServerDropsCorruptConnection(t *testing.T) {
 	// The connection is now closed server-side: the next read fails.
 	if _, _, err := readFrame(conn, nil); err == nil {
 		t.Fatal("server kept a desynced connection open")
+	}
+}
+
+func TestStartStopClosesIdleConnections(t *testing.T) {
+	s := NewServer(Options{})
+	s.PublishTable("mini", tinyTable(1<<20, coll.Bcast))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	stop := s.Start(l)
+	cl, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Decide("mini", coll.Bcast, 4096); err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	// The client now idles between requests; stop must disconnect it
+	// rather than wait for it to hang up on its own.
+	done := make(chan struct{})
+	go func() { stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop() hung on an idle connection")
+	}
+	// The client observes the shutdown on its next query.
+	if _, err := cl.Decide("mini", coll.Bcast, 4096); err == nil {
+		t.Fatal("Decide succeeded after server stop")
 	}
 }
 
